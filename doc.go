@@ -1,0 +1,30 @@
+// Package hhoudini is a from-scratch reproduction of "H-HOUDINI: Scalable
+// Invariant Learning" (Dinesh, Zhu, Fletcher; ASPLOS 2025).
+//
+// H-Houdini is an inductive-invariant learning algorithm that replaces the
+// monolithic SMT checks of machine-learning-inspired synthesis (MLIS)
+// learners with a hierarchy of small, incremental, memoizable and
+// parallelizable relative-induction checks. The paper instantiates it as
+// VeloCT, a framework that proves hardware security properties — here, the
+// safe instruction set synthesis problem (SISP) for timing side channels —
+// by learning relational invariants over a product (miter) circuit.
+//
+// This module contains everything needed to run the paper end to end, all
+// implemented on the Go standard library alone:
+//
+//   - a CDCL SAT solver with assumption cores (the decision procedure),
+//   - a sequential-circuit model with word-level construction, simulation,
+//     cone-of-influence slicing and CNF encoding,
+//   - a btor2 reader/writer,
+//   - miter construction for relational 2-safety properties,
+//   - an RV32-style ISA substrate,
+//   - synthetic in-order ("rocket-class") and out-of-order ("boom-class")
+//     cores reproducing the timing structure of Rocketchip and BOOM,
+//   - the H-Houdini learner (sequential and parallel), the Houdini and
+//     Sorcar baselines, and the VeloCT analysis layer,
+//   - a benchmark harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// The root package is a facade re-exporting the stable public API; see
+// README.md for a tour and DESIGN.md for the system inventory.
+package hhoudini

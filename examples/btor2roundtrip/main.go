@@ -1,0 +1,109 @@
+// Btor2roundtrip demonstrates the btor2 bridge: the paper's toolchain
+// consumes designs in the btor2 model-checking format (emitted by yosys);
+// this repository can both read and write it.
+//
+// The program (1) parses an inline btor2 counter model and bounded-checks
+// its bad property by simulation, and (2) exports the in-order core to
+// btor2, re-parses it, and cross-simulates the two circuits to show the
+// round trip is faithful.
+//
+// Run with: go run ./examples/btor2roundtrip
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	hh "hhoudini"
+)
+
+const counterModel = `
+; three-bit counter that must not reach 6
+1 sort bitvec 3
+2 sort bitvec 1
+3 state 1 cnt
+4 zero 1
+5 init 1 3 4
+6 one 1
+7 add 1 3 6
+8 next 1 3 7
+9 constd 1 6
+10 eq 2 3 9
+11 bad 10 reached6
+`
+
+func main() {
+	// --- 1. Parse and bounded-check a btor2 model --------------------------
+	d, err := hh.ParseBTOR2(strings.NewReader(counterModel))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("counter model: %d state bits, bad properties %v\n",
+		d.Circuit.NumStateBits(), d.Bads)
+	sim := hh.NewSim(d.Circuit)
+	for cycle := 1; ; cycle++ {
+		if err := sim.Step(nil); err != nil {
+			log.Fatal(err)
+		}
+		if v, _ := sim.PeekWire("reached6"); v == 1 {
+			fmt.Printf("bad state reached at cycle %d (expected: 6 increments)\n\n", cycle)
+			break
+		}
+		if cycle > 16 {
+			log.Fatal("bad state unexpectedly unreachable")
+		}
+	}
+
+	// --- 2. Round-trip the in-order core ------------------------------------
+	tgt, err := hh.NewInOrder()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := hh.WriteBTOR2(&buf, tgt.Circuit, nil, nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported %s to btor2: %d bytes, %d lines\n",
+		tgt.Name, buf.Len(), bytes.Count(buf.Bytes(), []byte{'\n'}))
+
+	d2, err := hh.ParseBTOR2(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if got, want := d2.Circuit.NumStateBits(), tgt.Circuit.NumStateBits(); got != want {
+		log.Fatalf("state bits changed: %d vs %d", got, want)
+	}
+
+	// Cross-simulate: the original and re-parsed circuits must agree on the
+	// retirement strobe cycle by cycle. The round-tripped design is
+	// bit-blasted, so its input is driven bit by bit.
+	simA := hh.NewSim(tgt.Circuit)
+	simB := hh.NewSim(d2.Circuit)
+	rng := rand.New(rand.NewSource(9))
+	addi := uint64(0x00510193) // addi x3, x2, 5
+	for cycle := 0; cycle < 60; cycle++ {
+		word := uint64(0x13) // NOP
+		if rng.Intn(3) == 0 {
+			word = addi
+		}
+		if err := simA.Step(hh.Inputs{"instr": word}); err != nil {
+			log.Fatal(err)
+		}
+		inB := hh.Inputs{}
+		for bit := 0; bit < 32; bit++ {
+			inB[fmt.Sprintf("instr[%d]", bit)] = (word >> uint(bit)) & 1
+		}
+		if err := simB.Step(inB); err != nil {
+			log.Fatal(err)
+		}
+		a, _ := simA.PeekReg("retire_valid")
+		b, _ := simB.PeekReg("retire_valid[0]")
+		if a != b {
+			log.Fatalf("cycle %d: retirement diverged after round trip", cycle)
+		}
+	}
+	fmt.Println("round-trip cross-simulation: 60 cycles, no divergence")
+}

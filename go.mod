@@ -1,0 +1,3 @@
+module hhoudini
+
+go 1.22

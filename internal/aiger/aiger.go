@@ -1,0 +1,420 @@
+// Package aiger reads and writes the ASCII AIGER 1.9 format ("aag"), the
+// standard interchange format for and-inverter graphs with latches used by
+// hardware model checkers. It complements the btor2 bridge: this
+// repository's circuits are AIGs internally, so the mapping is exact.
+package aiger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hhoudini/internal/circuit"
+)
+
+// Design is a parsed AIGER model.
+type Design struct {
+	Circuit *circuit.Circuit
+	// Outputs lists the named output wires in declaration order.
+	Outputs []string
+	// Bads lists the named bad-state wires (AIGER 1.9 B section).
+	Bads []string
+}
+
+// Write exports a circuit as ASCII AIGER. Registers and inputs are
+// bit-blasted to AIGER's 1-bit latches/inputs with names name[i] in the
+// symbol table; every named wire becomes an output (or a bad-state
+// property when listed in bads).
+func Write(w io.Writer, c *circuit.Circuit, bads []string) error {
+	bw := bufio.NewWriter(w)
+
+	type latchInfo struct {
+		lit  uint
+		next circuit.Signal
+		init bool
+		name string
+	}
+	var (
+		nextVar uint = 1
+		inLits  []uint
+		inNames []string
+		latches []latchInfo
+	)
+	litOfNode := map[int32]uint{0: 0} // node → positive literal; const-false = 0
+
+	for _, p := range c.Inputs() {
+		for bit, sig := range p.Bits {
+			lit := 2 * nextVar
+			nextVar++
+			litOfNode[sig.Node()] = lit
+			inLits = append(inLits, lit)
+			inNames = append(inNames, fmt.Sprintf("%s[%d]", p.Name, bit))
+		}
+	}
+	for _, r := range c.Regs() {
+		for bit, sig := range r.Bits {
+			lit := 2 * nextVar
+			nextVar++
+			litOfNode[sig.Node()] = lit
+			latches = append(latches, latchInfo{
+				lit:  lit,
+				next: r.Next[bit],
+				init: bit < 64 && r.Init&(1<<uint(bit)) != 0,
+				name: fmt.Sprintf("%s[%d]", r.Name, bit),
+			})
+		}
+	}
+	litOf := func(s circuit.Signal) uint {
+		base, ok := litOfNode[s.Node()]
+		if !ok {
+			panic(fmt.Sprintf("aiger: node %d not yet assigned", s.Node()))
+		}
+		if s.Inverted() {
+			return base ^ 1
+		}
+		return base
+	}
+	type andGate struct{ lhs, r0, r1 uint }
+	var ands []andGate
+	c.VisitAnds(func(node int32, a, b circuit.Signal) {
+		lhs := 2 * nextVar
+		nextVar++
+		litOfNode[node] = lhs
+		r0, r1 := litOf(a), litOf(b)
+		if r0 < r1 {
+			r0, r1 = r1, r0 // AIGER wants rhs0 >= rhs1
+		}
+		ands = append(ands, andGate{lhs, r0, r1})
+	})
+
+	badSet := make(map[string]bool, len(bads))
+	for _, b := range bads {
+		badSet[b] = true
+	}
+	type outInfo struct {
+		lit  uint
+		name string
+		bad  bool
+	}
+	var outs []outInfo
+	nBad := 0
+	for _, name := range c.WireNames() {
+		word, _ := c.Wire(name)
+		for bit, sig := range word {
+			if badSet[name] {
+				outs = append(outs, outInfo{litOf(sig), name, true})
+				nBad++
+			} else {
+				outs = append(outs, outInfo{litOf(sig), fmt.Sprintf("%s[%d]", name, bit), false})
+			}
+		}
+	}
+
+	maxVar := nextVar - 1
+	nOut := len(outs) - nBad
+	fmt.Fprintf(bw, "aag %d %d %d %d %d", maxVar, len(inLits), len(latches), nOut, len(ands))
+	if nBad > 0 {
+		fmt.Fprintf(bw, " %d", nBad)
+	}
+	fmt.Fprintln(bw)
+	for _, lit := range inLits {
+		fmt.Fprintln(bw, lit)
+	}
+	for _, l := range latches {
+		init := 0
+		if l.init {
+			init = 1
+		}
+		fmt.Fprintf(bw, "%d %d %d\n", l.lit, litOf(l.next), init)
+	}
+	for _, o := range outs {
+		if !o.bad {
+			fmt.Fprintln(bw, o.lit)
+		}
+	}
+	for _, o := range outs {
+		if o.bad {
+			fmt.Fprintln(bw, o.lit)
+		}
+	}
+	for _, a := range ands {
+		fmt.Fprintf(bw, "%d %d %d\n", a.lhs, a.r0, a.r1)
+	}
+	// Symbol table.
+	for i, name := range inNames {
+		fmt.Fprintf(bw, "i%d %s\n", i, name)
+	}
+	for i, l := range latches {
+		fmt.Fprintf(bw, "l%d %s\n", i, l.name)
+	}
+	oIdx, bIdx := 0, 0
+	for _, o := range outs {
+		if o.bad {
+			fmt.Fprintf(bw, "b%d %s\n", bIdx, o.name)
+			bIdx++
+		} else {
+			fmt.Fprintf(bw, "o%d %s\n", oIdx, o.name)
+			oIdx++
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads an ASCII AIGER ("aag") model into a circuit. Inputs and
+// latches become 1-bit ports named from the symbol table (i<n>/l<n>
+// otherwise); outputs and bad-state properties become named wires.
+func Parse(r io.Reader) (*Design, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("aiger: empty input")
+	}
+	hdr := strings.Fields(sc.Text())
+	if len(hdr) < 6 || hdr[0] != "aag" {
+		return nil, fmt.Errorf("aiger: bad header %q (only ASCII aag supported)", sc.Text())
+	}
+	nums := make([]int, 0, 6)
+	for _, f := range hdr[1:] {
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("aiger: bad header field %q", f)
+		}
+		nums = append(nums, n)
+	}
+	maxVar, nIn, nLatch, nOut, nAnd := nums[0], nums[1], nums[2], nums[3], nums[4]
+	nBad := 0
+	if len(nums) > 5 {
+		nBad = nums[5]
+	}
+	// Sanity: every input/latch/and needs its own variable, and nothing in
+	// this repository approaches 2^26 variables — reject absurd headers
+	// before allocating for them.
+	const maxSane = 1 << 22
+	if maxVar > maxSane || nOut > maxSane || nBad > maxSane {
+		return nil, fmt.Errorf("aiger: header sizes exceed sanity limit")
+	}
+	if nIn+nLatch+nAnd > maxVar {
+		return nil, fmt.Errorf("aiger: header declares %d definitions for %d variables",
+			nIn+nLatch+nAnd, maxVar)
+	}
+
+	readLine := func() ([]int, error) {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("aiger: unexpected end of input")
+		}
+		fields := strings.Fields(sc.Text())
+		out := make([]int, len(fields))
+		for i, f := range fields {
+			n, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("aiger: bad literal %q", f)
+			}
+			out[i] = n
+		}
+		return out, nil
+	}
+
+	checkDefLit := func(lit int) error {
+		if lit < 2 || lit%2 != 0 || lit/2 > maxVar {
+			return fmt.Errorf("aiger: definition literal %d out of range (maxvar %d)", lit, maxVar)
+		}
+		return nil
+	}
+	inLits := make([]int, nIn)
+	for i := range inLits {
+		ls, err := readLine()
+		if err != nil {
+			return nil, err
+		}
+		if len(ls) != 1 {
+			return nil, fmt.Errorf("aiger: bad input line %v", ls)
+		}
+		if err := checkDefLit(ls[0]); err != nil {
+			return nil, err
+		}
+		inLits[i] = ls[0]
+	}
+	type latchLine struct{ lit, next, init int }
+	latchLines := make([]latchLine, nLatch)
+	for i := range latchLines {
+		ls, err := readLine()
+		if err != nil {
+			return nil, err
+		}
+		if len(ls) < 2 {
+			return nil, fmt.Errorf("aiger: bad latch line %v", ls)
+		}
+		if err := checkDefLit(ls[0]); err != nil {
+			return nil, err
+		}
+		ll := latchLine{lit: ls[0], next: ls[1]}
+		if len(ls) > 2 {
+			if ls[2] != 0 && ls[2] != 1 {
+				return nil, fmt.Errorf("aiger: unsupported latch reset %d (0/1 only)", ls[2])
+			}
+			ll.init = ls[2]
+		}
+		latchLines[i] = ll
+	}
+	readLits := func(n int, what string) ([]int, error) {
+		out := make([]int, 0, min(n, 4096))
+		for i := 0; i < n; i++ {
+			ls, err := readLine()
+			if err != nil {
+				return nil, err
+			}
+			if len(ls) != 1 {
+				return nil, fmt.Errorf("aiger: bad %s line %v", what, ls)
+			}
+			out = append(out, ls[0])
+		}
+		return out, nil
+	}
+	outLits, err := readLits(nOut, "output")
+	if err != nil {
+		return nil, err
+	}
+	badLits, err := readLits(nBad, "bad-property")
+	if err != nil {
+		return nil, err
+	}
+	type andLine struct{ lhs, r0, r1 int }
+	andLines := make([]andLine, nAnd)
+	for i := range andLines {
+		ls, err := readLine()
+		if err != nil {
+			return nil, err
+		}
+		if len(ls) != 3 {
+			return nil, fmt.Errorf("aiger: bad and line %v", ls)
+		}
+		if err := checkDefLit(ls[0]); err != nil {
+			return nil, err
+		}
+		andLines[i] = andLine{ls[0], ls[1], ls[2]}
+	}
+	// Symbol table + comments.
+	inNames := make(map[int]string)
+	latchNames := make(map[int]string)
+	outNames := make(map[int]string)
+	badNames := make(map[int]string)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "c" {
+			break
+		}
+		sp := strings.IndexByte(line, ' ')
+		if sp <= 1 {
+			continue
+		}
+		kind, idxStr, name := line[0], line[1:sp], line[sp+1:]
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil {
+			continue
+		}
+		switch kind {
+		case 'i':
+			inNames[idx] = name
+		case 'l':
+			latchNames[idx] = name
+		case 'o':
+			outNames[idx] = name
+		case 'b':
+			badNames[idx] = name
+		}
+	}
+
+	// Build the circuit.
+	b := circuit.NewBuilder()
+	sigOfVar := make([]circuit.Signal, maxVar+1)
+	assigned := make([]bool, maxVar+1)
+	sigOfVar[0] = circuit.False
+	assigned[0] = true
+	nameOr := func(m map[int]string, i int, def string) string {
+		if n, ok := m[i]; ok {
+			return n
+		}
+		return def
+	}
+	define := func(lit int, sig circuit.Signal) error {
+		if assigned[lit/2] {
+			return fmt.Errorf("aiger: variable %d defined twice", lit/2)
+		}
+		sigOfVar[lit/2] = sig
+		assigned[lit/2] = true
+		return nil
+	}
+	for i, lit := range inLits {
+		w := b.Input(nameOr(inNames, i, fmt.Sprintf("i%d", i)), 1)
+		if err := define(lit, w[0]); err != nil {
+			return nil, err
+		}
+	}
+	for i, ll := range latchLines {
+		w := b.Register(nameOr(latchNames, i, fmt.Sprintf("l%d", i)), 1, uint64(ll.init))
+		if err := define(ll.lit, w[0]); err != nil {
+			return nil, err
+		}
+	}
+	sigOf := func(lit int) (circuit.Signal, error) {
+		v := lit / 2
+		if v < 0 || v > maxVar {
+			return circuit.False, fmt.Errorf("aiger: literal %d out of range", lit)
+		}
+		if !assigned[v] {
+			return circuit.False, fmt.Errorf("aiger: literal %d references undefined variable", lit)
+		}
+		s := sigOfVar[v]
+		if lit%2 == 1 {
+			return s.Not(), nil
+		}
+		return s, nil
+	}
+	for _, al := range andLines {
+		r0, err := sigOf(al.r0)
+		if err != nil {
+			return nil, err
+		}
+		r1, err := sigOf(al.r1)
+		if err != nil {
+			return nil, err
+		}
+		if err := define(al.lhs, b.And2(r0, r1)); err != nil {
+			return nil, err
+		}
+	}
+	d := &Design{}
+	for i, ll := range latchLines {
+		next, err := sigOf(ll.next)
+		if err != nil {
+			return nil, err
+		}
+		b.SetNext(nameOr(latchNames, i, fmt.Sprintf("l%d", i)), circuit.Word{next})
+	}
+	for i, lit := range outLits {
+		sig, err := sigOf(lit)
+		if err != nil {
+			return nil, err
+		}
+		name := nameOr(outNames, i, fmt.Sprintf("o%d", i))
+		b.Name(name, circuit.Word{sig})
+		d.Outputs = append(d.Outputs, name)
+	}
+	for i, lit := range badLits {
+		sig, err := sigOf(lit)
+		if err != nil {
+			return nil, err
+		}
+		name := nameOr(badNames, i, fmt.Sprintf("b%d", i))
+		b.Name(name, circuit.Word{sig})
+		d.Bads = append(d.Bads, name)
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	d.Circuit = c
+	return d, nil
+}

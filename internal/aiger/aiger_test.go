@@ -1,0 +1,176 @@
+package aiger
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hhoudini/internal/circuit"
+	"hhoudini/internal/mc"
+)
+
+func buildToggle(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder()
+	en := b.Input("en", 1)
+	q := b.Register("q", 1, 0)
+	b.SetNext("q", circuit.Word{b.Xor2(q[0], en[0])})
+	b.Name("out", q)
+	b.Name("bad", circuit.Word{q[0]})
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestWriteParseRoundTripToggle(t *testing.T) {
+	c1 := buildToggle(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, c1, []string{"bad"}); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.HasPrefix(text, "aag ") {
+		t.Fatalf("bad header: %q", text[:10])
+	}
+	d, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if len(d.Bads) != 1 || d.Bads[0] != "bad" {
+		t.Fatalf("bads = %v", d.Bads)
+	}
+	if got, want := d.Circuit.NumStateBits(), c1.NumStateBits(); got != want {
+		t.Fatalf("state bits %d, want %d", got, want)
+	}
+	// The bad state (q==1) is reachable in 1 step with en=1 in both.
+	tr, err := mc.BMC(d.Circuit, "bad", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil || tr.Len() != 1 {
+		t.Fatalf("cex = %+v", tr)
+	}
+}
+
+func TestParseHandAuthored(t *testing.T) {
+	// A latch that toggles unconditionally, output = latch.
+	model := `aag 1 0 1 1 0
+2 3 0
+2
+l0 tick
+o0 tickout
+`
+	d, err := Parse(strings.NewReader(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := circuit.NewSim(d.Circuit)
+	want := []uint64{0, 1, 0, 1}
+	for i, w := range want {
+		if v, _ := sim.PeekReg("tick"); v != w {
+			t.Fatalf("cycle %d: tick = %d, want %d", i, v, w)
+		}
+		sim.Step(nil)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"binary header":   "aig 1 0 0 0 0\n",
+		"short header":    "aag 1 0\n",
+		"negative":        "aag -1 0 0 0 0\n",
+		"odd input":       "aag 1 1 0 0 0\n3\n",
+		"truncated":       "aag 2 2 0 0 0\n2\n",
+		"bad latch reset": "aag 1 0 1 0 0\n2 2 5\n",
+		"undefined var":   "aag 2 0 0 1 0\n4\n",
+		"bad and lhs":     "aag 2 1 0 0 1\n2\n3 2 2\n",
+	}
+	for name, model := range cases {
+		if _, err := Parse(strings.NewReader(model)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestRandomRoundTripCrossSim: random circuits must survive the AIGER
+// round trip with identical cycle-by-cycle behavior.
+func TestRandomRoundTripCrossSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 20; iter++ {
+		b := circuit.NewBuilder()
+		in := b.Input("in", 4)
+		x := b.Register("x", 4, uint64(rng.Intn(16)))
+		y := b.Register("y", 4, uint64(rng.Intn(16)))
+		b.SetNext("x", b.Add(x, in))
+		b.SetNext("y", b.MuxW(b.Ult(x, y), b.XorW(y, in), y))
+		b.Name("o", b.OrW(x, y))
+		c1, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c1, nil); err != nil {
+			t.Fatal(err)
+		}
+		d, err := Parse(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim1 := circuit.NewSim(c1)
+		sim2 := circuit.NewSim(d.Circuit)
+		for cyc := 0; cyc < 30; cyc++ {
+			iv := rng.Uint64() & 15
+			in2 := circuit.Inputs{}
+			for bit := 0; bit < 4; bit++ {
+				in2[fmt.Sprintf("in[%d]", bit)] = (iv >> uint(bit)) & 1
+			}
+			sim1.SetInputs(circuit.Inputs{"in": iv})
+			sim2.SetInputs(in2)
+			v1, _ := sim1.PeekWire("o")
+			var v2 uint64
+			for bit := 0; bit < 4; bit++ {
+				bv, err := sim2.PeekWire(fmt.Sprintf("o[%d]", bit))
+				if err != nil {
+					t.Fatal(err)
+				}
+				v2 |= bv << uint(bit)
+			}
+			if v1 != v2 {
+				t.Fatalf("iter %d cycle %d: output diverged %d vs %d", iter, cyc, v1, v2)
+			}
+			sim1.Step(circuit.Inputs{"in": iv})
+			sim2.Step(in2)
+		}
+	}
+}
+
+func TestWriteConstantAndFoldedGates(t *testing.T) {
+	// A circuit whose logic folds to constants must still export/import.
+	b := circuit.NewBuilder()
+	x := b.Input("x", 1)
+	q := b.Register("q", 1, 1)
+	b.SetNext("q", circuit.Word{b.And2(x[0], x[0].Not())}) // folds to False
+	b.Name("alwayszero", circuit.Word{b.And2(q[0], q[0].Not())})
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := circuit.NewSim(d.Circuit)
+	sim.Step(circuit.Inputs{"x[0]": 1})
+	if v, _ := sim.PeekReg("q[0]"); v != 0 {
+		t.Fatalf("q = %d, want 0", v)
+	}
+}

@@ -1,0 +1,37 @@
+package aiger
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hhoudini/internal/circuit"
+)
+
+// FuzzParse exercises the AIGER parser on arbitrary input: no panics, and
+// accepted models must simulate and round-trip.
+func FuzzParse(f *testing.F) {
+	f.Add("aag 1 0 1 1 0\n2 3 0\n2\nl0 tick\no0 out\n")
+	f.Add("aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n")
+	f.Add("aag 0 0 0 0 0\n")
+	f.Add("not an aiger file")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		sim := circuit.NewSim(d.Circuit)
+		for i := 0; i < 3; i++ {
+			if err := sim.Step(nil); err != nil {
+				t.Fatalf("accepted model fails to simulate: %v", err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, d.Circuit, d.Bads); err != nil {
+			t.Fatalf("accepted model fails to export: %v", err)
+		}
+		if _, err := Parse(&buf); err != nil {
+			t.Fatalf("exported model fails to re-parse: %v\n%s", err, buf.String())
+		}
+	})
+}

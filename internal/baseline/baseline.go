@@ -1,0 +1,262 @@
+// Package baseline implements the MLIS learners the paper compares
+// against: the classic Houdini algorithm (Flanagan & Leino, FME'01) and
+// the property-directed Sorcar variant (Neider et al., SAS'19) that
+// ConjunCT — the prior state of the art for safe instruction set
+// synthesis — is built on.
+//
+// Both learners make monolithic queries: every inductivity check encodes
+// the full design and conjuncts the entire remaining predicate set. This
+// is precisely the cost H-Houdini eliminates (§2.2.2), and the speedup
+// experiment reproduces the contrast.
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"hhoudini/internal/circuit"
+	"hhoudini/internal/hhoudini"
+	"hhoudini/internal/sat"
+)
+
+// Stats collects baseline instrumentation.
+type Stats struct {
+	Rounds   int
+	Queries  int
+	WallTime time.Duration
+}
+
+// Options bound the baseline learners.
+type Options struct {
+	// MaxRounds aborts runaway refinement loops (0 = 2*|universe|+2).
+	MaxRounds int
+	// MaxConflictsPerQuery caps each monolithic SAT query; exceeded
+	// budgets surface as ErrBudget (the "did not scale" outcome the paper
+	// reports for Sorcar-style queries on BOOM).
+	MaxConflictsPerQuery int64
+}
+
+// ErrBudget reports that a monolithic query exceeded its solver budget.
+var ErrBudget = fmt.Errorf("baseline: monolithic query exceeded solver budget")
+
+type round struct {
+	enc  *circuit.Encoder
+	cur  []sat.Lit // current-frame literal per predicate
+	next []sat.Lit // next-frame literal per predicate
+}
+
+// encodeRound builds a fresh monolithic encoding of the transition
+// relation and every predicate in both frames.
+func encodeRound(sys *hhoudini.System, preds []hhoudini.Pred, budget int64) (*round, error) {
+	enc := circuit.NewEncoder(sys.Circuit, sat.New())
+	if budget > 0 {
+		enc.S.MaxConflicts = budget
+	}
+	if sys.Constrain != nil {
+		if err := sys.Constrain(enc); err != nil {
+			return nil, err
+		}
+	}
+	r := &round{enc: enc, cur: make([]sat.Lit, len(preds)), next: make([]sat.Lit, len(preds))}
+	for i, p := range preds {
+		var err error
+		if r.cur[i], err = p.Encode(enc, false); err != nil {
+			return nil, err
+		}
+		if r.next[i], err = p.Encode(enc, true); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Houdini runs the classic algorithm: conjunct all predicates, find a
+// counterexample to induction, remove every predicate violated in the
+// counterexample's successor state, repeat. Returns nil (None) if a target
+// predicate is eliminated. The universe must already be filtered against
+// the positive examples (the caller owns Algorithm 2's sifting step).
+func Houdini(sys *hhoudini.System, universe, targets []hhoudini.Pred, opts Options, stats *Stats) (*hhoudini.Invariant, error) {
+	start := time.Now()
+	defer func() {
+		if stats != nil {
+			stats.WallTime += time.Since(start)
+		}
+	}()
+
+	preds, inTargets, err := prepare(universe, targets)
+	if err != nil {
+		return nil, err
+	}
+	alive := make([]bool, len(preds))
+	for i := range alive {
+		alive[i] = true
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 2*len(preds) + 2
+	}
+
+	for rounds := 0; rounds < maxRounds; rounds++ {
+		if stats != nil {
+			stats.Rounds++
+			stats.Queries++
+		}
+		r, err := encodeRound(sys, preds, opts.MaxConflictsPerQuery)
+		if err != nil {
+			return nil, err
+		}
+		var negNext []sat.Lit
+		for i := range preds {
+			if !alive[i] {
+				continue
+			}
+			r.enc.AssertLit(r.cur[i])
+			negNext = append(negNext, r.next[i].Not())
+		}
+		r.enc.S.AddClause(negNext...)
+
+		switch r.enc.S.Solve() {
+		case sat.Unsat:
+			var kept []hhoudini.Pred
+			for i, p := range preds {
+				if alive[i] {
+					kept = append(kept, p)
+				}
+			}
+			return &hhoudini.Invariant{Preds: kept, Targets: targets}, nil
+		case sat.Unknown:
+			return nil, ErrBudget
+		}
+		// Counterexample to induction: drop predicates false at s'.
+		removed := false
+		for i := range preds {
+			if alive[i] && !r.enc.S.ModelValue(r.next[i]) {
+				alive[i] = false
+				removed = true
+				if inTargets[preds[i].ID()] {
+					return nil, nil // property predicate eliminated: None
+				}
+			}
+		}
+		if !removed {
+			return nil, fmt.Errorf("baseline: Houdini made no progress")
+		}
+	}
+	return nil, fmt.Errorf("baseline: Houdini exceeded %d rounds", maxRounds)
+}
+
+// Sorcar runs the property-directed variant: it grows a relevant set G
+// from the targets, strengthening with universe predicates that exclude
+// each counterexample's pre-state, and falls back to Houdini-style
+// elimination when the whole universe admits the pre-state. Queries remain
+// monolithic over the design.
+func Sorcar(sys *hhoudini.System, universe, targets []hhoudini.Pred, opts Options, stats *Stats) (*hhoudini.Invariant, error) {
+	start := time.Now()
+	defer func() {
+		if stats != nil {
+			stats.WallTime += time.Since(start)
+		}
+	}()
+
+	preds, inTargets, err := prepare(universe, targets)
+	if err != nil {
+		return nil, err
+	}
+	inH := make([]bool, len(preds))
+	inG := make([]bool, len(preds))
+	for i, p := range preds {
+		inH[i] = true
+		inG[i] = inTargets[p.ID()]
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 2*len(preds) + 2
+	}
+
+	for rounds := 0; rounds < maxRounds; rounds++ {
+		if stats != nil {
+			stats.Rounds++
+			stats.Queries++
+		}
+		r, err := encodeRound(sys, preds, opts.MaxConflictsPerQuery)
+		if err != nil {
+			return nil, err
+		}
+		var negNext []sat.Lit
+		for i := range preds {
+			if !inG[i] {
+				continue
+			}
+			r.enc.AssertLit(r.cur[i])
+			negNext = append(negNext, r.next[i].Not())
+		}
+		r.enc.S.AddClause(negNext...)
+
+		switch r.enc.S.Solve() {
+		case sat.Unsat:
+			var kept []hhoudini.Pred
+			for i, p := range preds {
+				if inG[i] {
+					kept = append(kept, p)
+				}
+			}
+			return &hhoudini.Invariant{Preds: kept, Targets: targets}, nil
+		case sat.Unknown:
+			return nil, ErrBudget
+		}
+
+		// Strengthen G with relevant predicates: those of H\G violated by
+		// the counterexample's pre-state.
+		moved := false
+		for i := range preds {
+			if inH[i] && !inG[i] && !r.enc.S.ModelValue(r.cur[i]) {
+				inG[i] = true
+				moved = true
+			}
+		}
+		if moved {
+			continue
+		}
+		// The pre-state satisfies all of H: eliminate predicates violated
+		// in the post-state (classic Houdini step).
+		removed := false
+		for i := range preds {
+			if inH[i] && !r.enc.S.ModelValue(r.next[i]) {
+				inH[i] = false
+				inG[i] = false
+				removed = true
+				if inTargets[preds[i].ID()] {
+					return nil, nil
+				}
+			}
+		}
+		if !removed {
+			return nil, fmt.Errorf("baseline: Sorcar made no progress")
+		}
+	}
+	return nil, fmt.Errorf("baseline: Sorcar exceeded %d rounds", maxRounds)
+}
+
+// prepare dedups the universe, ensures targets are present, and indexes
+// target membership.
+func prepare(universe, targets []hhoudini.Pred) ([]hhoudini.Pred, map[string]bool, error) {
+	seen := make(map[string]bool)
+	var preds []hhoudini.Pred
+	add := func(p hhoudini.Pred) {
+		if !seen[p.ID()] {
+			seen[p.ID()] = true
+			preds = append(preds, p)
+		}
+	}
+	for _, t := range targets {
+		add(t)
+	}
+	for _, p := range universe {
+		add(p)
+	}
+	inTargets := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		inTargets[t.ID()] = true
+	}
+	return preds, inTargets, nil
+}

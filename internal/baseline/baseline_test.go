@@ -1,0 +1,212 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"hhoudini/internal/circuit"
+	"hhoudini/internal/hhoudini"
+	"hhoudini/internal/sat"
+)
+
+// regEq mirrors the hhoudini test predicate: register == constant.
+type regEq struct {
+	reg string
+	val uint64
+}
+
+func (p regEq) ID() string     { return fmt.Sprintf("%s==%d", p.reg, p.val) }
+func (p regEq) Vars() []string { return []string{p.reg} }
+func (p regEq) String() string { return p.ID() }
+
+func (p regEq) Encode(enc *circuit.Encoder, next bool) (sat.Lit, error) {
+	var lits []sat.Lit
+	var err error
+	if next {
+		lits, err = enc.RegNextLits(p.reg)
+	} else {
+		lits, err = enc.RegLits(p.reg)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return enc.EqConstLits(lits, p.val), nil
+}
+
+func (p regEq) Eval(c *circuit.Circuit, s circuit.Snapshot) (bool, error) {
+	i := c.RegIndex(p.reg)
+	if i < 0 {
+		return false, fmt.Errorf("unknown reg %q", p.reg)
+	}
+	return s[i] == p.val, nil
+}
+
+// chainSys: A' = B∧C, C' = D∧E, B/D/E stable; plus junk registers J1, J2
+// whose predicates are NOT inductive (fed by an input) so the baselines
+// must eliminate them.
+func chainSys(t *testing.T) (*hhoudini.System, []hhoudini.Pred, []hhoudini.Pred) {
+	t.Helper()
+	b := circuit.NewBuilder()
+	in := b.Input("in", 2)
+	A := b.Register("A", 1, 1)
+	B := b.Register("B", 1, 1)
+	C := b.Register("C", 1, 1)
+	D := b.Register("D", 1, 1)
+	E := b.Register("E", 1, 1)
+	b.Register("J1", 1, 1)
+	b.Register("J2", 1, 1)
+	_ = A
+	b.SetNext("A", circuit.Word{b.And2(B[0], C[0])})
+	b.SetNext("B", B)
+	b.SetNext("C", circuit.Word{b.And2(D[0], E[0])})
+	b.SetNext("D", D)
+	b.SetNext("E", E)
+	b.SetNext("J1", b.Extract(in, 0, 0))
+	b.SetNext("J2", b.Extract(in, 1, 1))
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := &hhoudini.System{Circuit: c}
+	universe := []hhoudini.Pred{
+		regEq{"A", 1}, regEq{"B", 1}, regEq{"C", 1}, regEq{"D", 1}, regEq{"E", 1},
+		regEq{"J1", 1}, regEq{"J2", 1},
+	}
+	targets := []hhoudini.Pred{regEq{"A", 1}}
+	return sys, universe, targets
+}
+
+func TestHoudiniFindsInvariant(t *testing.T) {
+	sys, universe, targets := chainSys(t)
+	var stats Stats
+	inv, err := Houdini(sys, universe, targets, Options{}, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv == nil {
+		t.Fatal("expected invariant")
+	}
+	if inv.Contains("J1==1") || inv.Contains("J2==1") {
+		t.Fatalf("junk predicates not eliminated: %v", inv.Preds)
+	}
+	for _, want := range []string{"A==1", "B==1", "C==1", "D==1", "E==1"} {
+		if !inv.Contains(want) {
+			t.Fatalf("missing %s", want)
+		}
+	}
+	if err := hhoudini.Audit(sys, inv); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds == 0 || stats.Queries == 0 {
+		t.Fatal("stats not recorded")
+	}
+}
+
+func TestSorcarFindsInvariant(t *testing.T) {
+	sys, universe, targets := chainSys(t)
+	var stats Stats
+	inv, err := Sorcar(sys, universe, targets, Options{}, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv == nil {
+		t.Fatal("expected invariant")
+	}
+	if inv.Contains("J1==1") || inv.Contains("J2==1") {
+		t.Fatalf("property-directed learner included junk: %v", inv.Preds)
+	}
+	if err := hhoudini.Audit(sys, inv); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSorcarSmallerOrEqualHoudini: Sorcar's property-directedness should
+// never produce a larger invariant than Houdini's greatest fixpoint.
+func TestSorcarSmallerOrEqualHoudini(t *testing.T) {
+	sys, universe, targets := chainSys(t)
+	invH, err := Houdini(sys, universe, targets, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invS, err := Sorcar(sys, universe, targets, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invS.Size() > invH.Size() {
+		t.Fatalf("Sorcar %d > Houdini %d", invS.Size(), invH.Size())
+	}
+}
+
+func TestBaselinesReturnNoneWhenTargetDies(t *testing.T) {
+	b := circuit.NewBuilder()
+	in := b.Input("in", 1)
+	b.Register("R", 1, 1)
+	b.SetNext("R", in)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := &hhoudini.System{Circuit: c}
+	target := []hhoudini.Pred{regEq{"R", 1}}
+	if inv, err := Houdini(sys, target, target, Options{}, nil); err != nil || inv != nil {
+		t.Fatalf("Houdini: inv=%v err=%v, want None", inv, err)
+	}
+	if inv, err := Sorcar(sys, target, target, Options{}, nil); err != nil || inv != nil {
+		t.Fatalf("Sorcar: inv=%v err=%v, want None", inv, err)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	sys, universe, targets := chainSys(t)
+	_, err := Houdini(sys, universe, targets, Options{MaxConflictsPerQuery: 1}, nil)
+	// Tiny circuits may solve within one conflict; accept either success
+	// or a budget error, but nothing else.
+	if err != nil && err != ErrBudget {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestAgreesWithHHoudini: on the same universe, all three learners must
+// agree on invariant existence, and every found invariant must audit.
+func TestAgreesWithHHoudini(t *testing.T) {
+	sys, universe, targets := chainSys(t)
+
+	byReg := make(map[string][]hhoudini.Pred)
+	for _, p := range universe {
+		byReg[p.Vars()[0]] = append(byReg[p.Vars()[0]], p)
+	}
+	miner := minerFunc(func(target hhoudini.Pred, slice []string) ([]hhoudini.Pred, error) {
+		var out []hhoudini.Pred
+		for _, r := range slice {
+			out = append(out, byReg[r]...)
+		}
+		return out, nil
+	})
+	l := hhoudini.NewLearner(sys, miner, hhoudini.DefaultOptions())
+	invHH, err := l.Learn(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invH, err := Houdini(sys, universe, targets, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invS, err := Sorcar(sys, universe, targets, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invHH == nil || invH == nil || invS == nil {
+		t.Fatal("all learners must find an invariant")
+	}
+	for name, inv := range map[string]*hhoudini.Invariant{"hhoudini": invHH, "houdini": invH, "sorcar": invS} {
+		if err := hhoudini.Audit(sys, inv); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+type minerFunc func(target hhoudini.Pred, slice []string) ([]hhoudini.Pred, error)
+
+func (f minerFunc) Mine(target hhoudini.Pred, slice []string) ([]hhoudini.Pred, error) {
+	return f(target, slice)
+}

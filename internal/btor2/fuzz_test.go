@@ -1,0 +1,40 @@
+package btor2
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hhoudini/internal/circuit"
+)
+
+// FuzzParse exercises the parser on arbitrary input: it must never panic,
+// and any model it accepts must build a simulable circuit that survives a
+// write/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(counterModel)
+	f.Add("1 sort bitvec 1\n2 input 1 x\n3 not 1 2\n4 output 3\n")
+	f.Add("1 sort bitvec 4\n2 state 1 s\n3 next 1 2 2\n")
+	f.Add("; comment only\n")
+	f.Add("1 sort bitvec 64\n2 ones 1\n3 state 1 w\n4 init 1 3 2\n5 next 1 3 3\n")
+	f.Add("garbage input\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		sim := circuit.NewSim(d.Circuit)
+		for i := 0; i < 3; i++ {
+			if err := sim.Step(nil); err != nil {
+				t.Fatalf("accepted model fails to simulate: %v", err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, d.Circuit, d.Bads, d.Constraints); err != nil {
+			t.Fatalf("accepted model fails to export: %v", err)
+		}
+		if _, err := Parse(&buf); err != nil {
+			t.Fatalf("exported model fails to re-parse: %v\n%s", err, buf.String())
+		}
+	})
+}

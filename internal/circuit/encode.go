@@ -1,0 +1,232 @@
+package circuit
+
+import (
+	"fmt"
+
+	"hhoudini/internal/sat"
+)
+
+// Encoder lazily Tseitin-encodes the combinational cone of requested
+// signals into a SAT solver. Only the logic actually reachable from the
+// requested signals is encoded — this locality is what makes the paper's
+// incremental relative-induction queries cheap compared to a monolithic
+// encoding of the whole design.
+//
+// The encoding covers a single transition: current-state register bits and
+// input bits become free variables, and the next-state value of a register
+// bit is the encoding of its next-state function over those variables.
+type Encoder struct {
+	S *sat.Solver
+	c *Circuit
+
+	lits       []sat.Lit // per node; litUnset until encoded
+	constFalse sat.Lit
+}
+
+const litUnset sat.Lit = -2
+
+// NewEncoder creates an encoder targeting the given solver. Multiple
+// encoders must not share a solver.
+func NewEncoder(c *Circuit, s *sat.Solver) *Encoder {
+	e := &Encoder{S: s, c: c, lits: make([]sat.Lit, len(c.nodes))}
+	for i := range e.lits {
+		e.lits[i] = litUnset
+	}
+	e.constFalse = sat.PosLit(s.NewVar())
+	s.AddClause(e.constFalse.Not())
+	e.lits[0] = e.constFalse
+	return e
+}
+
+// FalseLit returns a literal constrained to false.
+func (e *Encoder) FalseLit() sat.Lit { return e.constFalse }
+
+// TrueLit returns a literal constrained to true.
+func (e *Encoder) TrueLit() sat.Lit { return e.constFalse.Not() }
+
+// SignalLit returns the solver literal representing a circuit signal,
+// encoding its cone on first use.
+func (e *Encoder) SignalLit(sig Signal) sat.Lit {
+	return e.nodeLit(sig.Node()).XorSign(sig.Inverted())
+}
+
+func (e *Encoder) nodeLit(id int32) sat.Lit {
+	if l := e.lits[id]; l != litUnset {
+		return l
+	}
+	// Iterative DFS to avoid deep recursion on big cones.
+	stack := []int32{id}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		if e.lits[n] != litUnset {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		nd := e.c.nodes[n]
+		switch nd.kind {
+		case kInput, kLatch:
+			e.lits[n] = sat.PosLit(e.S.NewVar())
+			stack = stack[:len(stack)-1]
+		case kAnd:
+			la, lb := e.lits[nd.a.Node()], e.lits[nd.b.Node()]
+			if la == litUnset || lb == litUnset {
+				if la == litUnset {
+					stack = append(stack, nd.a.Node())
+				}
+				if lb == litUnset {
+					stack = append(stack, nd.b.Node())
+				}
+				continue
+			}
+			g := sat.PosLit(e.S.NewVar())
+			a := la.XorSign(nd.a.Inverted())
+			b := lb.XorSign(nd.b.Inverted())
+			// g ↔ a ∧ b
+			e.S.AddClause(g.Not(), a)
+			e.S.AddClause(g.Not(), b)
+			e.S.AddClause(a.Not(), b.Not(), g)
+			e.lits[n] = g
+			stack = stack[:len(stack)-1]
+		default: // kConst handled in NewEncoder
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return e.lits[id]
+}
+
+// WordLits encodes each bit of a word.
+func (e *Encoder) WordLits(w Word) []sat.Lit {
+	out := make([]sat.Lit, len(w))
+	for i, s := range w {
+		out[i] = e.SignalLit(s)
+	}
+	return out
+}
+
+// RegLits returns the current-state literals of a register.
+func (e *Encoder) RegLits(name string) ([]sat.Lit, error) {
+	r, ok := e.c.Reg(name)
+	if !ok {
+		return nil, fmt.Errorf("circuit: unknown register %q", name)
+	}
+	return e.WordLits(r.Bits), nil
+}
+
+// RegNextLits returns the next-state literals of a register (the encoding
+// of its next-state function over current-state and input variables).
+func (e *Encoder) RegNextLits(name string) ([]sat.Lit, error) {
+	r, ok := e.c.Reg(name)
+	if !ok {
+		return nil, fmt.Errorf("circuit: unknown register %q", name)
+	}
+	return e.WordLits(r.Next), nil
+}
+
+// WireLits returns the literals of a named wire (encoding its cone).
+func (e *Encoder) WireLits(name string) ([]sat.Lit, error) {
+	w, ok := e.c.Wire(name)
+	if !ok {
+		return nil, fmt.Errorf("circuit: unknown wire %q", name)
+	}
+	return e.WordLits(w), nil
+}
+
+// InputLits returns the literals of an input port.
+func (e *Encoder) InputLits(name string) ([]sat.Lit, error) {
+	p, ok := e.c.Input(name)
+	if !ok {
+		return nil, fmt.Errorf("circuit: unknown input %q", name)
+	}
+	return e.WordLits(p.Bits), nil
+}
+
+// --- Gate helpers over already-encoded literals ----------------------------
+
+// AndLits returns a literal equivalent to the conjunction of ls.
+func (e *Encoder) AndLits(ls ...sat.Lit) sat.Lit {
+	switch len(ls) {
+	case 0:
+		return e.TrueLit()
+	case 1:
+		return ls[0]
+	}
+	g := sat.PosLit(e.S.NewVar())
+	long := make([]sat.Lit, 0, len(ls)+1)
+	for _, l := range ls {
+		e.S.AddClause(g.Not(), l)
+		long = append(long, l.Not())
+	}
+	long = append(long, g)
+	e.S.AddClause(long...)
+	return g
+}
+
+// OrLits returns a literal equivalent to the disjunction of ls.
+func (e *Encoder) OrLits(ls ...sat.Lit) sat.Lit {
+	switch len(ls) {
+	case 0:
+		return e.FalseLit()
+	case 1:
+		return ls[0]
+	}
+	neg := make([]sat.Lit, len(ls))
+	for i, l := range ls {
+		neg[i] = l.Not()
+	}
+	return e.AndLits(neg...).Not()
+}
+
+// XnorLit returns a literal equivalent to a ↔ b.
+func (e *Encoder) XnorLit(a, b sat.Lit) sat.Lit {
+	g := sat.PosLit(e.S.NewVar())
+	e.S.AddClause(g.Not(), a.Not(), b)
+	e.S.AddClause(g.Not(), a, b.Not())
+	e.S.AddClause(g, a, b)
+	e.S.AddClause(g, a.Not(), b.Not())
+	return g
+}
+
+// EqLits returns a literal asserting bitwise equality of two literal words.
+func (e *Encoder) EqLits(a, b []sat.Lit) sat.Lit {
+	if len(a) != len(b) {
+		panic("circuit: EqLits width mismatch")
+	}
+	bits := make([]sat.Lit, len(a))
+	for i := range a {
+		bits[i] = e.XnorLit(a[i], b[i])
+	}
+	return e.AndLits(bits...)
+}
+
+// EqConstLits returns a literal asserting that the literal word equals a
+// constant value.
+func (e *Encoder) EqConstLits(a []sat.Lit, val uint64) sat.Lit {
+	bits := make([]sat.Lit, len(a))
+	for i := range a {
+		if i < 64 && val&(1<<uint(i)) != 0 {
+			bits[i] = a[i]
+		} else {
+			bits[i] = a[i].Not()
+		}
+	}
+	return e.AndLits(bits...)
+}
+
+// MatchLits returns a literal asserting (word & mask) == match.
+func (e *Encoder) MatchLits(a []sat.Lit, mask, match uint64) sat.Lit {
+	var bits []sat.Lit
+	for i := range a {
+		if i >= 64 || mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if match&(1<<uint(i)) != 0 {
+			bits = append(bits, a[i])
+		} else {
+			bits = append(bits, a[i].Not())
+		}
+	}
+	return e.AndLits(bits...)
+}
+
+// AssertLit adds a unit clause fixing l true.
+func (e *Encoder) AssertLit(l sat.Lit) { e.S.AddClause(l) }

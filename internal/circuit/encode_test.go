@@ -1,0 +1,193 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"hhoudini/internal/sat"
+)
+
+// assumeWord returns assumption literals pinning a literal word to a value.
+func assumeWord(lits []sat.Lit, val uint64) []sat.Lit {
+	out := make([]sat.Lit, len(lits))
+	for i, l := range lits {
+		if i < 64 && val&(1<<uint(i)) != 0 {
+			out[i] = l
+		} else {
+			out[i] = l.Not()
+		}
+	}
+	return out
+}
+
+func modelWord(s *sat.Solver, lits []sat.Lit) uint64 {
+	var v uint64
+	for i, l := range lits {
+		if i < 64 && s.ModelValue(l) {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// TestEncoderAgreesWithSimulator is the Tseitin-consistency property: for
+// random states and inputs, the CNF encoding of every register's next-state
+// function must produce exactly the values the simulator computes.
+func TestEncoderAgreesWithSimulator(t *testing.T) {
+	b := NewBuilder()
+	in := b.Input("in", 8)
+	sel := b.Input("sel", 1)
+	x := b.Register("x", 8, 0)
+	y := b.Register("y", 8, 0)
+	z := b.Register("z", 8, 1)
+	b.SetNext("x", b.Add(x, in))
+	b.SetNext("y", b.MuxW(sel[0], b.XorW(x, z), b.Sub(y, x)))
+	b.SetNext("z", b.MuxW(b.Ult(x, y), b.Mul(z, in), z))
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(2024))
+	for iter := 0; iter < 60; iter++ {
+		solver := sat.New()
+		enc := NewEncoder(c, solver)
+		xL, _ := enc.RegLits("x")
+		yL, _ := enc.RegLits("y")
+		zL, _ := enc.RegLits("z")
+		inL, _ := enc.InputLits("in")
+		selL, _ := enc.InputLits("sel")
+		xN, _ := enc.RegNextLits("x")
+		yN, _ := enc.RegNextLits("y")
+		zN, _ := enc.RegNextLits("z")
+
+		xv, yv, zv := rng.Uint64()&255, rng.Uint64()&255, rng.Uint64()&255
+		iv, sv := rng.Uint64()&255, rng.Uint64()&1
+
+		var as []sat.Lit
+		as = append(as, assumeWord(xL, xv)...)
+		as = append(as, assumeWord(yL, yv)...)
+		as = append(as, assumeWord(zL, zv)...)
+		as = append(as, assumeWord(inL, iv)...)
+		as = append(as, assumeWord(selL, sv)...)
+		if st := solver.Solve(as...); st != sat.Sat {
+			t.Fatalf("iter %d: encoding unsat under concrete assignment", iter)
+		}
+
+		sim := NewSim(c)
+		sim.LoadSnapshot(Snapshot{xv, yv, zv})
+		sim.Step(Inputs{"in": iv, "sel": sv})
+		wantX, _ := sim.PeekReg("x")
+		wantY, _ := sim.PeekReg("y")
+		wantZ, _ := sim.PeekReg("z")
+
+		if got := modelWord(solver, xN); got != wantX {
+			t.Fatalf("iter %d: next(x) = %#x, want %#x", iter, got, wantX)
+		}
+		if got := modelWord(solver, yN); got != wantY {
+			t.Fatalf("iter %d: next(y) = %#x, want %#x", iter, got, wantY)
+		}
+		if got := modelWord(solver, zN); got != wantZ {
+			t.Fatalf("iter %d: next(z) = %#x, want %#x", iter, got, wantZ)
+		}
+	}
+}
+
+func TestEncoderGateHelpers(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x", 4)
+	b.Name("out", x)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := sat.New()
+	enc := NewEncoder(c, solver)
+	xL, _ := enc.InputLits("x")
+
+	andL := enc.AndLits(xL...)
+	orL := enc.OrLits(xL...)
+	eqc := enc.EqConstLits(xL, 0b1010)
+	match := enc.MatchLits(xL, 0b1100, 0b0100)
+	xnor := enc.XnorLit(xL[0], xL[1])
+	eqw := enc.EqLits(xL[:2], xL[2:])
+
+	for v := uint64(0); v < 16; v++ {
+		as := assumeWord(xL, v)
+		if st := solver.Solve(as...); st != sat.Sat {
+			t.Fatalf("v=%d: unsat", v)
+		}
+		check := func(name string, l sat.Lit, want bool) {
+			if got := solver.ModelValue(l); got != want {
+				t.Fatalf("v=%#b: %s = %v, want %v", v, name, got, want)
+			}
+		}
+		check("and", andL, v == 15)
+		check("or", orL, v != 0)
+		check("eqconst", eqc, v == 0b1010)
+		check("match", match, v&0b1100 == 0b0100)
+		check("xnor", xnor, (v&1 != 0) == (v&2 != 0))
+		check("eqlits", eqw, v&3 == (v>>2)&3)
+	}
+
+	// Degenerate helper cases.
+	if l := enc.AndLits(); !mustSat(solver, l) {
+		t.Fatal("empty AndLits should be true")
+	}
+	if l := enc.OrLits(); mustSat(solver, l) {
+		t.Fatal("empty OrLits should be false")
+	}
+	if enc.AndLits(xL[0]) != xL[0] || enc.OrLits(xL[3]) != xL[3] {
+		t.Fatal("single-literal helpers should pass through")
+	}
+	if !mustSat(solver, enc.TrueLit()) || mustSat(solver, enc.FalseLit()) {
+		t.Fatal("constant literals wrong")
+	}
+}
+
+// mustSat reports whether l can be true under the current clause database.
+func mustSat(s *sat.Solver, l sat.Lit) bool {
+	return s.Solve(l) == sat.Sat
+}
+
+func TestEncoderUnknownNames(t *testing.T) {
+	b := NewBuilder()
+	r := b.Register("r", 2, 0)
+	b.SetNext("r", r)
+	c, _ := b.Build()
+	enc := NewEncoder(c, sat.New())
+	if _, err := enc.RegLits("ghost"); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := enc.RegNextLits("ghost"); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := enc.InputLits("ghost"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestEncoderConeLocality: encoding one small register's cone must not
+// encode the rest of a large design.
+func TestEncoderConeLocality(t *testing.T) {
+	b := NewBuilder()
+	small := b.Register("small", 1, 0)
+	b.SetNext("small", b.NotW(small))
+	// A large unrelated multiplier cone.
+	x := b.Register("x", 32, 0)
+	y := b.Register("y", 32, 0)
+	b.SetNext("x", b.Mul(x, y))
+	b.SetNext("y", y)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := sat.New()
+	enc := NewEncoder(c, solver)
+	if _, err := enc.RegNextLits("small"); err != nil {
+		t.Fatal(err)
+	}
+	if n := solver.NumVars(); n > 10 {
+		t.Fatalf("encoding small cone created %d vars; locality broken", n)
+	}
+}

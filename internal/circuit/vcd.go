@@ -1,0 +1,144 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// VCDRecorder dumps simulation activity as a Value Change Dump file, the
+// standard waveform format readable by GTKWave and every RTL debugger.
+// Attach it to a simulator, call Sample after each Step, and Close at the
+// end.
+//
+//	rec, _ := circuit.NewVCDRecorder(file, sim, "top")
+//	for ... {
+//	    sim.Step(in)
+//	    rec.Sample()
+//	}
+//	rec.Close()
+type VCDRecorder struct {
+	w    *bufio.Writer
+	sim  *Sim
+	time int
+
+	names []string // register names in dump order
+	codes []string // VCD identifier codes
+	width []int
+	last  []uint64
+	open  bool
+}
+
+// NewVCDRecorder writes the VCD header for every register of the
+// simulator's circuit and records the initial state at time 0.
+func NewVCDRecorder(w io.Writer, sim *Sim, module string) (*VCDRecorder, error) {
+	r := &VCDRecorder{w: bufio.NewWriter(w), sim: sim, open: true}
+	regs := sim.c.Regs()
+	names := make([]string, 0, len(regs))
+	for _, reg := range regs {
+		names = append(names, reg.Name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(r.w, "$date reproduction run $end\n")
+	fmt.Fprintf(r.w, "$version hhoudini circuit simulator $end\n")
+	fmt.Fprintf(r.w, "$timescale 1ns $end\n")
+	fmt.Fprintf(r.w, "$scope module %s $end\n", module)
+	for i, name := range names {
+		reg, _ := sim.c.Reg(name)
+		code := vcdCode(i)
+		r.names = append(r.names, name)
+		r.codes = append(r.codes, code)
+		r.width = append(r.width, reg.Width)
+		fmt.Fprintf(r.w, "$var wire %d %s %s $end\n", reg.Width, code, vcdSafeName(name))
+	}
+	fmt.Fprintf(r.w, "$upscope $end\n$enddefinitions $end\n")
+
+	fmt.Fprintf(r.w, "#0\n$dumpvars\n")
+	r.last = make([]uint64, len(r.names))
+	for i, name := range r.names {
+		v, err := sim.PeekReg(name)
+		if err != nil {
+			return nil, err
+		}
+		r.last[i] = v
+		r.emit(i, v)
+	}
+	fmt.Fprintf(r.w, "$end\n")
+	return r, nil
+}
+
+// Sample records the current register values as the next timestep,
+// emitting only changed signals.
+func (r *VCDRecorder) Sample() error {
+	if !r.open {
+		return fmt.Errorf("circuit: VCD recorder is closed")
+	}
+	r.time++
+	headerWritten := false
+	for i, name := range r.names {
+		v, err := r.sim.PeekReg(name)
+		if err != nil {
+			return err
+		}
+		if v == r.last[i] {
+			continue
+		}
+		if !headerWritten {
+			fmt.Fprintf(r.w, "#%d\n", r.time)
+			headerWritten = true
+		}
+		r.last[i] = v
+		r.emit(i, v)
+	}
+	return nil
+}
+
+// Close flushes the dump.
+func (r *VCDRecorder) Close() error {
+	if !r.open {
+		return nil
+	}
+	r.open = false
+	fmt.Fprintf(r.w, "#%d\n", r.time+1)
+	return r.w.Flush()
+}
+
+func (r *VCDRecorder) emit(i int, v uint64) {
+	if r.width[i] == 1 {
+		fmt.Fprintf(r.w, "%d%s\n", v&1, r.codes[i])
+		return
+	}
+	fmt.Fprintf(r.w, "b%b %s\n", v, r.codes[i])
+}
+
+// vcdCode produces a short printable identifier (VCD uses chars '!'..'~').
+func vcdCode(i int) string {
+	const lo, hi = 33, 127
+	var out []byte
+	for {
+		out = append(out, byte(lo+i%(hi-lo)))
+		i /= hi - lo
+		if i == 0 {
+			break
+		}
+		i--
+	}
+	return string(out)
+}
+
+// vcdSafeName replaces characters VCD tools reject in identifiers.
+func vcdSafeName(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == ':' || c == ' ':
+			out = append(out, '_')
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}

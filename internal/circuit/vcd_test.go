@@ -1,0 +1,98 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVCDRecorder(t *testing.T) {
+	b := NewBuilder()
+	en := b.Input("en", 1)
+	cnt := b.Register("cnt", 4, 0)
+	flag := b.Register("flag", 1, 1)
+	b.SetNext("cnt", b.MuxW(en[0], b.Inc(cnt), cnt))
+	b.SetNext("flag", flag)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSim(c)
+	var buf bytes.Buffer
+	rec, err := NewVCDRecorder(&buf, sim, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		sim.Step(Inputs{"en": 1})
+		if err := rec.Sample(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two quiet cycles: no changes should be emitted.
+	for i := 0; i < 2; i++ {
+		sim.Step(Inputs{"en": 0})
+		if err := rec.Sample(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module top $end",
+		"$var wire 4 ",
+		"$var wire 1 ",
+		"$enddefinitions $end",
+		"$dumpvars",
+		"#0", "#1", "#4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("VCD missing %q:\n%s", want, text)
+		}
+	}
+	// cnt changes each of the first 4 cycles; the quiet cycles must not
+	// emit timestamps 5 or 6 for value changes (only the trailing #7).
+	if strings.Contains(text, "#5\nb") || strings.Contains(text, "#6\nb") {
+		t.Fatalf("quiet cycles emitted changes:\n%s", text)
+	}
+	// Counter value 4 (b100) must appear.
+	if !strings.Contains(text, "b100 ") {
+		t.Fatalf("expected b100 in dump:\n%s", text)
+	}
+	// Sampling after Close must error.
+	if err := rec.Sample(); err == nil {
+		t.Fatal("Sample after Close should fail")
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal("double Close should be a no-op")
+	}
+}
+
+func TestVCDCodeUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		code := vcdCode(i)
+		if code == "" || seen[code] {
+			t.Fatalf("code %d: %q duplicate or empty", i, code)
+		}
+		for j := 0; j < len(code); j++ {
+			if code[j] < 33 || code[j] > 126 {
+				t.Fatalf("code %d contains non-printable byte %d", i, code[j])
+			}
+		}
+		seen[code] = true
+	}
+}
+
+func TestVCDSafeName(t *testing.T) {
+	if got := vcdSafeName("l::rf1"); got != "l__rf1" {
+		t.Fatalf("got %q", got)
+	}
+	if got := vcdSafeName("plain"); got != "plain" {
+		t.Fatalf("got %q", got)
+	}
+}

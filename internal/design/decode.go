@@ -1,0 +1,218 @@
+package design
+
+import (
+	"hhoudini/internal/circuit"
+	"hhoudini/internal/isa"
+)
+
+// XLEN is the datapath width of the cores in this package. The ISA
+// encodings remain the standard 32-bit RV32 formats; architectural values
+// are truncated to XLEN bits (a narrow datapath keeps decision-procedure
+// queries small without changing any of the timing structure the analysis
+// reasons about).
+const XLEN = 16
+
+// NRegs is the number of architectural registers implemented by the cores
+// (register indices are the low bits of the standard 5-bit fields; the
+// cores implement x0..x7).
+const NRegs = 8
+
+const regW = 3 // log2(NRegs)
+
+// decoded carries the combinational decode of a 32-bit instruction word.
+type decoded struct {
+	instr circuit.Word // the raw 32-bit word
+
+	match map[isa.Op]circuit.Signal // per-op match signal
+	known circuit.Signal            // any op matched
+
+	rd, rs1, rs2 circuit.Word // 3-bit register indices
+	imm          circuit.Word // XLEN-bit immediate (format-selected)
+
+	isALU    circuit.Signal // single-cycle integer ops incl. lui
+	isAuipc  circuit.Signal
+	isMul    circuit.Signal
+	isDiv    circuit.Signal
+	isLoad   circuit.Signal
+	isStore  circuit.Signal
+	isBranch circuit.Signal
+	isJump   circuit.Signal
+	writesRd circuit.Signal
+	usesRs1  circuit.Signal
+	usesRs2  circuit.Signal
+
+	uop circuit.Word // dense uop code (the isa.Op value), uopW bits
+}
+
+// uopW is the width of the dense uop encoding used by the OoO core.
+const uopW = 6
+
+// UopCode returns the dense uop encoding of an op (its isa.Op value).
+func UopCode(op isa.Op) uint64 { return uint64(op) }
+
+// decode builds the combinational decoder for a 32-bit instruction word.
+func decode(b *circuit.Builder, instr circuit.Word) *decoded {
+	d := &decoded{instr: instr, match: make(map[isa.Op]circuit.Signal)}
+
+	matchPat := func(mask, match uint32) circuit.Signal {
+		var bits []circuit.Signal
+		acc := circuit.True
+		for i := 0; i < 32; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			bit := instr[i]
+			if match&(1<<uint(i)) == 0 {
+				bit = bit.Not()
+			}
+			bits = append(bits, bit)
+		}
+		for _, s := range bits {
+			acc = b.And2(acc, s)
+		}
+		return acc
+	}
+
+	known := circuit.False
+	for _, op := range isa.AllOps() {
+		m, v := isa.Pattern(op)
+		sig := matchPat(m, v)
+		d.match[op] = sig
+		known = b.Or2(known, sig)
+	}
+	d.known = known
+
+	anyOf := func(ops ...isa.Op) circuit.Signal {
+		acc := circuit.False
+		for _, op := range ops {
+			acc = b.Or2(acc, d.match[op])
+		}
+		return acc
+	}
+
+	d.isAuipc = d.match[isa.OpAuipc]
+	d.isALU = anyOf(isa.OpAdd, isa.OpSub, isa.OpSll, isa.OpSlt, isa.OpSltu,
+		isa.OpXor, isa.OpSrl, isa.OpSra, isa.OpOr, isa.OpAnd,
+		isa.OpAddi, isa.OpSlti, isa.OpSltiu, isa.OpXori, isa.OpOri, isa.OpAndi,
+		isa.OpSlli, isa.OpSrli, isa.OpSrai, isa.OpLui, isa.OpAuipc)
+	d.isMul = anyOf(isa.OpMul, isa.OpMulh, isa.OpMulhsu, isa.OpMulhu)
+	d.isDiv = anyOf(isa.OpDiv, isa.OpDivu, isa.OpRem, isa.OpRemu)
+	d.isLoad = anyOf(isa.OpLb, isa.OpLh, isa.OpLw, isa.OpLbu, isa.OpLhu)
+	d.isStore = anyOf(isa.OpSb, isa.OpSh, isa.OpSw)
+	d.isBranch = anyOf(isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu)
+	d.isJump = anyOf(isa.OpJal, isa.OpJalr)
+
+	d.writesRd = b.OrN(d.isALU, d.isMul, d.isDiv, d.isLoad, d.isJump)
+	// U- and J-formats carry no rs1; everything else reads it (stores,
+	// branches, loads, ALU reg/imm forms, jalr).
+	noRs1 := anyOf(isa.OpLui, isa.OpAuipc, isa.OpJal)
+	d.usesRs1 = b.And2(d.known, noRs1.Not())
+	rs2Ops := anyOf(isa.OpAdd, isa.OpSub, isa.OpSll, isa.OpSlt, isa.OpSltu,
+		isa.OpXor, isa.OpSrl, isa.OpSra, isa.OpOr, isa.OpAnd,
+		isa.OpMul, isa.OpMulh, isa.OpMulhsu, isa.OpMulhu,
+		isa.OpDiv, isa.OpDivu, isa.OpRem, isa.OpRemu,
+		isa.OpSb, isa.OpSh, isa.OpSw,
+		isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu)
+	d.usesRs2 = rs2Ops
+
+	d.rd = b.Extract(instr, 7+regW-1, 7)
+	d.rs1 = b.Extract(instr, 15+regW-1, 15)
+	d.rs2 = b.Extract(instr, 20+regW-1, 20)
+
+	// Immediates, truncated/sign-extended to XLEN bits.
+	immI := b.SignExt(b.Extract(instr, 31, 20), XLEN)
+	immS := b.SignExt(b.Concat(b.Extract(instr, 11, 7), b.Extract(instr, 31, 25)), XLEN)
+	immB := b.SignExt(b.Concat(
+		circuit.Word{circuit.False},
+		b.Extract(instr, 11, 8),
+		b.Extract(instr, 30, 25),
+		b.Extract(instr, 7, 7),
+		b.Extract(instr, 31, 31)), XLEN)
+	// U-type: imm[31:12] << 12, truncated to XLEN.
+	immU := b.Concat(b.Const(0, 12), b.Extract(instr, 12+XLEN-12-1, 12))
+	immJ := b.SignExt(b.Concat(
+		circuit.Word{circuit.False},
+		b.Extract(instr, 30, 21),
+		b.Extract(instr, 20, 20),
+		b.Extract(instr, 16, 12), // truncated J imm high bits within XLEN
+	), XLEN)
+
+	isU := anyOf(isa.OpLui, isa.OpAuipc)
+	isS := d.isStore
+	isB := d.isBranch
+	isJ := d.match[isa.OpJal]
+	imm := immI
+	imm = b.MuxW(isS, immS, imm)
+	imm = b.MuxW(isB, immB, imm)
+	imm = b.MuxW(isU, immU, imm)
+	imm = b.MuxW(isJ, immJ, imm)
+	d.imm = imm
+
+	// Dense uop code: OR of one-hot-masked constants.
+	uop := b.Const(0, uopW)
+	for _, op := range isa.AllOps() {
+		uop = b.OrW(uop, b.MaskW(d.match[op], b.Const(UopCode(op), uopW)))
+	}
+	d.uop = uop
+
+	return d
+}
+
+// aluResult computes the single-cycle integer result for the decoded
+// instruction: op1 (rs1 value), opb (rs2 value or immediate), pc.
+func aluResult(b *circuit.Builder, d *decoded, op1, op2, pc circuit.Word) circuit.Word {
+	useImm := b.OrN(d.match[isa.OpAddi], d.match[isa.OpSlti], d.match[isa.OpSltiu],
+		d.match[isa.OpXori], d.match[isa.OpOri], d.match[isa.OpAndi],
+		d.match[isa.OpSlli], d.match[isa.OpSrli], d.match[isa.OpSrai])
+	opb := b.MuxW(useImm, d.imm, op2)
+
+	shamt := b.ZeroExt(b.Extract(opb, 3, 0), XLEN) // XLEN=16 → 4-bit shifts
+
+	res := b.Const(0, XLEN)
+	add := func(sel circuit.Signal, val circuit.Word) {
+		res = b.OrW(res, b.MaskW(sel, val))
+	}
+	add(b.Or2(d.match[isa.OpAdd], d.match[isa.OpAddi]), b.Add(op1, opb))
+	add(d.match[isa.OpSub], b.Sub(op1, opb))
+	add(b.Or2(d.match[isa.OpAnd], d.match[isa.OpAndi]), b.AndW(op1, opb))
+	add(b.Or2(d.match[isa.OpOr], d.match[isa.OpOri]), b.OrW(op1, opb))
+	add(b.Or2(d.match[isa.OpXor], d.match[isa.OpXori]), b.XorW(op1, opb))
+	add(b.Or2(d.match[isa.OpSll], d.match[isa.OpSlli]), b.Shl(op1, shamt))
+	add(b.Or2(d.match[isa.OpSrl], d.match[isa.OpSrli]), b.Lshr(op1, shamt))
+	add(b.Or2(d.match[isa.OpSra], d.match[isa.OpSrai]), b.Ashr(op1, shamt))
+	add(b.Or2(d.match[isa.OpSlt], d.match[isa.OpSlti]),
+		b.ZeroExt(circuit.Word{b.Slt(op1, opb)}, XLEN))
+	add(b.Or2(d.match[isa.OpSltu], d.match[isa.OpSltiu]),
+		b.ZeroExt(circuit.Word{b.Ult(op1, opb)}, XLEN))
+	add(d.match[isa.OpLui], d.imm)
+	add(d.isAuipc, b.Add(pc, d.imm))
+	add(d.isJump, b.Add(pc, b.Const(4, XLEN))) // link address
+	return res
+}
+
+// branchTaken computes the branch condition for the decoded instruction.
+func branchTaken(b *circuit.Builder, d *decoded, op1, op2 circuit.Word) circuit.Signal {
+	eq := b.Eq(op1, op2)
+	lt := b.Slt(op1, op2)
+	ltu := b.Ult(op1, op2)
+	taken := circuit.False
+	or := func(sel, cond circuit.Signal) { taken = b.Or2(taken, b.And2(sel, cond)) }
+	or(d.match[isa.OpBeq], eq)
+	or(d.match[isa.OpBne], eq.Not())
+	or(d.match[isa.OpBlt], lt)
+	or(d.match[isa.OpBge], lt.Not())
+	or(d.match[isa.OpBltu], ltu)
+	or(d.match[isa.OpBgeu], ltu.Not())
+	return b.And2(d.isBranch, taken)
+}
+
+// regRead builds an NRegs-way read port over the architectural register
+// file words (index 0 reads as zero).
+func regRead(b *circuit.Builder, rf []circuit.Word, idx circuit.Word) circuit.Word {
+	out := b.Const(0, XLEN)
+	for r := 1; r < NRegs; r++ {
+		sel := b.EqConst(idx, uint64(r))
+		out = b.MuxW(sel, rf[r], out)
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package design
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hhoudini/internal/circuit"
+	"hhoudini/internal/isa"
+)
+
+// ExecStage opcode values (the 2-bit "instruction set" of Appendix C).
+const (
+	ExecNop uint64 = 0
+	ExecAdd uint64 = 1
+	ExecMul uint64 = 2
+)
+
+// ExecStageConfig parameterizes the Appendix C execute stage.
+type ExecStageConfig struct {
+	// Width is the operand width in bits (the paper's figure uses 32; the
+	// default here is 8, which preserves the timing behaviour — 1 cycle
+	// for zero-skip vs. Width cycles otherwise — at lower query cost).
+	Width int
+}
+
+// NewExecStage builds the worked example of Appendix C: an execute stage
+// with an ADD functional unit and an iterative multiplier featuring a
+// zero-skip optimization, whose outputs are selected by the current opcode.
+//
+// The operands op1/op2 are secret state (they model values read from a
+// register file); the opcode register latches the shared instruction input.
+// The attacker observes the Valid output register — exactly the Eq(Valid)
+// property the appendix proves.
+func NewExecStage(cfg ExecStageConfig) (*Target, error) {
+	w := cfg.Width
+	if w == 0 {
+		w = 8
+	}
+	if w < 2 || w > 32 {
+		return nil, fmt.Errorf("design: ExecStage width %d out of range [2,32]", w)
+	}
+	cntW := 1
+	for 1<<uint(cntW) < w {
+		cntW++
+	}
+
+	b := circuit.NewBuilder()
+	opIn := b.Input("opcode_in", 2)
+
+	op1 := b.Register("op1", w, 0)
+	op2 := b.Register("op2", w, 0)
+	b.KeepNext("op1") // secrets: loaded at init, held
+	b.KeepNext("op2")
+
+	// The stage holds its current opcode until a new instruction arrives
+	// (the ε input — encoded 0 — means "no instruction"), so the output
+	// mux keeps selecting the in-flight FU while it computes.
+	opcode := b.Register("opcode", 2, ExecNop)
+	newInstr := b.EqConst(opIn, ExecNop).Not()
+	b.SetNext("opcode", b.MuxW(newInstr, opIn, opcode))
+
+	isAdd := b.EqConst(opcode, ExecAdd)
+	isMul := b.EqConst(opcode, ExecMul)
+
+	// --- ADD FU (single cycle) ---------------------------------------
+	resAdd := b.Register("res_add", w, 0)
+	validAdd := b.Register("valid_add", 1, 0)
+	b.SetNext("res_add", b.MuxW(isAdd, b.Add(op1, op2), resAdd))
+	b.SetNext("valid_add", circuit.Word{isAdd})
+
+	// --- MUL FU (iterative, zero-skip) --------------------------------
+	mcand := b.Register("mcand", w, 0)
+	mplier := b.Register("mplier", w, 0)
+	cnt := b.Register("cnt", cntW, 0)
+	inUse := b.Register("in_use", 1, 0)
+	resMul := b.Register("res_mul", w, 0)
+	validMul := b.Register("valid_mul", 1, 0)
+
+	// The sticky valid bit doubles as a "result already produced" flag so a
+	// held MUL opcode does not restart the engine; it clears when a new
+	// instruction arrives.
+	start := b.AndN(isMul, b.Not(inUse[0]), b.Not(validMul[0]))
+	zeroSkip := b.Or2(b.IsZero(op1), b.IsZero(op2))
+	done := b.EqConst(cnt, uint64(w-1))
+	validHeld := b.And2(validMul[0], newInstr.Not())
+
+	// in_use branch of the case statement.
+	addend := b.MuxW(mplier[0], mcand, b.Const(0, w))
+	busyRes := b.Add(resMul, addend)
+	busyMcand := b.ShlC(mcand, 1)
+	busyMplier := b.LshrC(mplier, 1)
+	busyCnt := b.Inc(cnt)
+	busyInUse := b.Not(done)
+	busyValid := b.Or2(validHeld, done) // hold, set when done
+
+	// default (reset/start) branch.
+	startSkip := b.And2(start, zeroSkip)
+	idleRes := b.MuxW(start, b.Const(0, w), resMul) // clear only on start
+	idleValid := b.Or2(validHeld, startSkip)        // hold, set on zero-skip
+	idleInUse := b.And2(start, b.Not(zeroSkip))
+
+	b.SetNext("res_mul", b.MuxW(inUse[0], busyRes, idleRes))
+	b.SetNext("mcand", b.MuxW(inUse[0], busyMcand, op1))
+	b.SetNext("mplier", b.MuxW(inUse[0], busyMplier, op2))
+	b.SetNext("cnt", b.MuxW(inUse[0], busyCnt, b.Const(0, cntW)))
+	b.SetNext("in_use", circuit.Word{b.Mux2(inUse[0], busyInUse, idleInUse)})
+	b.SetNext("valid_mul", circuit.Word{b.Mux2(inUse[0], busyValid, idleValid)})
+
+	// --- Output mux ----------------------------------------------------
+	res := b.Register("res", w, 0)
+	b.Register("valid", 1, 0)
+	b.SetNext("res", b.MuxW(isMul, resMul, b.MuxW(isAdd, resAdd, res)))
+	b.SetNext("valid", circuit.Word{b.Mux2(isMul, validMul[0], validAdd[0])})
+
+	c, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	codes := map[string]uint64{"nop": ExecNop, "add": ExecAdd, "mul": ExecMul}
+	return &Target{
+		Name:          fmt.Sprintf("ExecStage%d", w),
+		Circuit:       c,
+		Observable:    []string{"valid"},
+		InstrPort:     "opcode_in",
+		Nop:           ExecNop,
+		Ops:           []string{"nop", "add", "mul"},
+		CandidateSafe: []string{"add", "mul"},
+		Encode: func(mn string, rng *rand.Rand) (uint64, error) {
+			code, ok := codes[mn]
+			if !ok {
+				return 0, fmt.Errorf("design: ExecStage has no op %q", mn)
+			}
+			return code, nil
+		},
+		SecretRegs: []string{"op1", "op2"},
+		SafePatterns: func(safe []string) []isa.MaskMatch {
+			pats := []isa.MaskMatch{{Mask: 3, Match: uint32(ExecNop)}}
+			for _, mn := range safe {
+				if code, ok := codes[mn]; ok && code != ExecNop {
+					pats = append(pats, isa.MaskMatch{Mask: 3, Match: uint32(code)})
+				}
+			}
+			return pats
+		},
+		MaxLatency: w + 3,
+	}, nil
+}

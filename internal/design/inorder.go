@@ -1,0 +1,260 @@
+package design
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hhoudini/internal/circuit"
+	"hhoudini/internal/isa"
+)
+
+// NewInOrder builds the "rocket-class" scalar in-order core: a
+// fetch-buffer → execute → writeback pipeline over an 8-entry register
+// file, with
+//
+//   - a single-cycle integer ALU (including lui/auipc and jump link),
+//   - an iterative 16-cycle multiplier with a zero-skip fast path
+//     (operand-dependent timing → mul-family is unsafe, matching the
+//     paper's RV64 Rocketchip finding),
+//   - a divider whose latency depends on the divisor value (unsafe),
+//   - a memory unit whose latency depends on the address (unsafe),
+//   - branches/jumps that squash the fetch buffer when taken (unsafe).
+//
+// The attacker observes the retirement strobe. Like Rocketchip in the
+// paper, the core carries raw instruction words down the pipeline, so the
+// automatically mined InSafeSet predicates suffice: no expert annotations
+// and no example masking are required.
+func NewInOrder() (*Target, error) {
+	b := circuit.NewBuilder()
+	instrIn := b.Input("instr", 32)
+
+	// Architectural state.
+	rf := make([]circuit.Word, NRegs)
+	for r := 1; r < NRegs; r++ {
+		rf[r] = b.Register(fmt.Sprintf("rf%d", r), XLEN, 0)
+	}
+	rf[0] = b.Const(0, XLEN)
+	pc := b.Register("pc", XLEN, 0)
+
+	// Fetch buffer (decode stage).
+	dInstr := b.Register("d_instr", 32, uint64(isa.NOP()))
+	dValid := b.Register("d_valid", 1, 0)
+	dPC := b.Register("d_pc", XLEN, 0)
+
+	// Execute stage.
+	xInstr := b.Register("x_instr", 32, uint64(isa.NOP()))
+	xValid := b.Register("x_valid", 1, 0)
+	xNew := b.Register("x_new", 1, 0)
+	xOp1 := b.Register("x_op1", XLEN, 0)
+	xOp2 := b.Register("x_op2", XLEN, 0)
+	xPC := b.Register("x_pc", XLEN, 0)
+
+	// Iterative multiplier (zero-skip).
+	mBusy := b.Register("m_busy", 1, 0)
+	mCnt := b.Register("m_cnt", 4, 0)
+	mAcc := b.Register("m_acc", XLEN, 0)
+	mMcand := b.Register("m_mcand", XLEN, 0)
+	mMplier := b.Register("m_mplier", XLEN, 0)
+
+	// Divider (latency 2 + (divisor & 7) cycles).
+	dvBusy := b.Register("dv_busy", 1, 0)
+	dvCnt := b.Register("dv_cnt", 3, 0)
+	dvLat := b.Register("dv_lat", 3, 0)
+	dvRes := b.Register("dv_res", XLEN, 0)
+
+	// Memory unit (latency 1 + (address & 3) cycles).
+	meBusy := b.Register("me_busy", 1, 0)
+	meCnt := b.Register("me_cnt", 2, 0)
+	meLat := b.Register("me_lat", 2, 0)
+	meRes := b.Register("me_res", XLEN, 0)
+	meWen := b.Register("me_wen", 1, 0)
+
+	// Writeback / retire.
+	wValid := b.Register("w_valid", 1, 0)
+	wWen := b.Register("w_wen", 1, 0)
+	wRd := b.Register("w_rd", regW, 0)
+	wRes := b.Register("w_res", XLEN, 0)
+	retire := b.Register("retire_valid", 1, 0)
+	_ = retire
+
+	// --- Execute-stage combinational logic -----------------------------
+	xd := decode(b, xInstr)
+	zeroSkip := b.Or2(b.IsZero(xOp1), b.IsZero(xOp2))
+
+	fire := b.And2(xValid[0], xNew[0]) // instruction entered X this cycle
+
+	mulStart := b.AndN(fire, xd.isMul, zeroSkip.Not())
+	mulSkip := b.AndN(fire, xd.isMul, zeroSkip)
+	divStart := b.And2(fire, xd.isDiv)
+	memStart := b.And2(fire, b.Or2(xd.isLoad, xd.isStore))
+
+	mulDone := b.And2(mBusy[0], b.EqConst(mCnt, 15))
+	divDone := b.And2(dvBusy[0], b.Eq(dvCnt, dvLat))
+	memDone := b.And2(meBusy[0], b.Eq(meCnt, meLat))
+
+	// Multiplier datapath.
+	addend := b.MuxW(mMplier[0], mMcand, b.Const(0, XLEN))
+	mAccNext := b.MuxW(mulStart, b.Const(0, XLEN), b.MuxW(mBusy[0], b.Add(mAcc, addend), mAcc))
+	b.SetNext("m_acc", mAccNext)
+	b.SetNext("m_mcand", b.MuxW(mulStart, xOp1, b.MuxW(mBusy[0], b.ShlC(mMcand, 1), mMcand)))
+	b.SetNext("m_mplier", b.MuxW(mulStart, xOp2, b.MuxW(mBusy[0], b.LshrC(mMplier, 1), mMplier)))
+	b.SetNext("m_cnt", b.MuxW(mBusy[0], b.Inc(mCnt), b.Const(0, 4)))
+	b.SetNext("m_busy", circuit.Word{b.Or2(mulStart, b.And2(mBusy[0], mulDone.Not()))})
+
+	// Divider datapath (functional result is a placeholder; only the
+	// operand-dependent latency matters for the analysis).
+	b.SetNext("dv_lat", b.MuxW(divStart, b.Extract(xOp2, 2, 0), dvLat))
+	b.SetNext("dv_res", b.MuxW(divStart, b.XorW(xOp1, xOp2), dvRes))
+	b.SetNext("dv_cnt", b.MuxW(dvBusy[0], b.Inc(dvCnt), b.Const(0, 3)))
+	b.SetNext("dv_busy", circuit.Word{b.Or2(divStart, b.And2(dvBusy[0], divDone.Not()))})
+
+	// Memory unit: the "memory" returns a fixed function of the address.
+	addr := b.Add(xOp1, xd.imm)
+	b.SetNext("me_lat", b.MuxW(memStart, b.Extract(addr, 1, 0), meLat))
+	b.SetNext("me_res", b.MuxW(memStart, b.XorW(addr, b.Const(0xBEEF, XLEN)), meRes))
+	b.SetNext("me_wen", b.MuxW(memStart, circuit.Word{xd.isLoad}, meWen))
+	b.SetNext("me_cnt", b.MuxW(meBusy[0], b.Inc(meCnt), b.Const(0, 2)))
+	b.SetNext("me_busy", circuit.Word{b.Or2(memStart, b.And2(meBusy[0], memDone.Not()))})
+
+	// Control flow.
+	brTaken := b.And2(fire, branchTaken(b, xd, xOp1, xOp2))
+	jmpTaken := b.And2(fire, xd.isJump)
+	redirect := b.Or2(brTaken, jmpTaken)
+	brTarget := b.Add(xPC, xd.imm)
+	jalrTarget := b.Add(xOp1, xd.imm)
+	target := b.MuxW(xd.match[isa.OpJalr], jalrTarget, brTarget)
+
+	// Pipeline advance.
+	stall := b.OrN(
+		b.And2(mBusy[0], mulDone.Not()), mulStart,
+		b.And2(dvBusy[0], divDone.Not()), divStart,
+		b.And2(meBusy[0], memDone.Not()), memStart,
+	)
+	accept := stall.Not()
+
+	// Single-cycle completion.
+	oneCycle := b.AndN(fire, b.OrN(xd.isALU, mulSkip, xd.isBranch, xd.isJump))
+	complete := b.OrN(oneCycle, mulDone, divDone, memDone)
+
+	// Result selection.
+	res := aluResult(b, xd, xOp1, xOp2, xPC) // zero for non-ALU classes
+	res = b.MuxW(mulDone, mAccNext, res)
+	res = b.MuxW(divDone, dvRes, res)
+	res = b.MuxW(memDone, meRes, res)
+
+	// Stores have writesRd == 0 from decode, so they retire without a
+	// register write; meWen additionally gates the memory-unit path.
+	wen := b.AndN(complete, xd.writesRd, b.IsZero(xd.rd).Not(),
+		b.Or2(memDone.Not(), meWen[0]))
+
+	b.SetNext("w_valid", circuit.Word{complete})
+	b.SetNext("w_wen", circuit.Word{wen})
+	b.SetNext("w_rd", xd.rd)
+	b.SetNext("w_res", res)
+	b.SetNext("retire_valid", wValid)
+
+	// Register file write.
+	for r := 1; r < NRegs; r++ {
+		doWrite := b.AndN(wValid[0], wWen[0], b.EqConst(wRd, uint64(r)))
+		b.SetNext(fmt.Sprintf("rf%d", r), b.MuxW(doWrite, wRes, rf[r]))
+	}
+
+	// Fetch buffer / PC.
+	ind := decode(b, instrIn)
+	b.SetNext("d_instr", b.MuxW(accept, instrIn, dInstr))
+	dNextIfAccept := b.And2(ind.known, redirect.Not())
+	dNextIfHold := b.And2(dValid[0], redirect.Not())
+	b.SetNext("d_valid", circuit.Word{b.Mux2(accept, dNextIfAccept, dNextIfHold)})
+	b.SetNext("d_pc", b.MuxW(accept, pc, dPC))
+	pcPlus := b.Add(pc, b.Const(4, XLEN))
+	pcNext := b.MuxW(b.And2(accept, ind.known), pcPlus, pc)
+	b.SetNext("pc", b.MuxW(redirect, target, pcNext))
+
+	// Execute-stage capture.
+	b.SetNext("x_instr", b.MuxW(accept, dInstr, xInstr))
+	b.SetNext("x_valid", circuit.Word{b.Mux2(accept, b.And2(dValid[0], redirect.Not()), xValid[0])})
+	b.SetNext("x_new", circuit.Word{b.And2(accept, b.And2(dValid[0], redirect.Not()))})
+	dd := decode(b, dInstr)
+	b.SetNext("x_op1", b.MuxW(accept, regRead(b, rf, dd.rs1), xOp1))
+	b.SetNext("x_op2", b.MuxW(accept, regRead(b, rf, dd.rs2), xOp2))
+	b.SetNext("x_pc", b.MuxW(accept, dPC, xPC))
+
+	c, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	ops := make([]string, 0, len(isa.AllOps()))
+	var candidates []string
+	for _, op := range isa.AllOps() {
+		ops = append(ops, op.String())
+		if !op.IsMem() && !op.IsControlFlow() {
+			candidates = append(candidates, op.String())
+		}
+	}
+	secrets := make([]string, 0, NRegs-1)
+	for r := 1; r < NRegs; r++ {
+		secrets = append(secrets, fmt.Sprintf("rf%d", r))
+	}
+
+	return &Target{
+		Name:          "InOrder",
+		Circuit:       c,
+		Observable:    []string{"retire_valid"},
+		InstrPort:     "instr",
+		Nop:           uint64(isa.NOP()),
+		Ops:           ops,
+		CandidateSafe: candidates,
+		Encode:        encodeRV32,
+		EncodeDep:     encodeRV32Regs,
+		SecretRegs:    secrets,
+		SafePatterns:  rv32SafePatterns,
+		MaxLatency:    24,
+	}, nil
+}
+
+// encodeRV32 produces a random-operand encoding of a mnemonic for the
+// RV32-based cores. Source/destination registers are drawn from x1..x7 so
+// operands read secret state.
+func encodeRV32(mn string, rng *rand.Rand) (uint64, error) {
+	reg := func() int { return 1 + rng.Intn(NRegs-1) }
+	return encodeRV32Regs(mn, reg(), reg(), reg(), rng)
+}
+
+// encodeRV32Regs encodes a mnemonic with pinned operand registers.
+func encodeRV32Regs(mn string, rd, rs1, rs2 int, rng *rand.Rand) (uint64, error) {
+	op, ok := isa.ParseOp(mn)
+	if !ok {
+		return 0, fmt.Errorf("design: unknown mnemonic %q", mn)
+	}
+	in := isa.Instr{Op: op, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)}
+	switch {
+	case op == isa.OpSlli || op == isa.OpSrli || op == isa.OpSrai:
+		in.Imm = int32(rng.Intn(XLEN))
+	case op == isa.OpLui || op == isa.OpAuipc:
+		in.Imm = int32(rng.Uint32()) &^ 0xfff
+	case op.IsBranch():
+		in.Imm = 8
+	case op == isa.OpJal || op == isa.OpJalr:
+		in.Imm = 8
+	case op.IsMem():
+		in.Imm = int32(rng.Intn(64))
+	default:
+		in.Imm = int32(rng.Intn(1 << 11))
+	}
+	return uint64(in.Encode()), nil
+}
+
+// rv32SafePatterns builds the InSafeSet patterns for a proposed safe set
+// over RV32 instruction words, always admitting the canonical NOP (the ε
+// input of the paper's Σ ∪ {ε}).
+func rv32SafePatterns(safe []string) []isa.MaskMatch {
+	pats := []isa.MaskMatch{{Mask: 0xffffffff, Match: isa.NOP()}}
+	ops := make([]isa.Op, 0, len(safe))
+	for _, mn := range safe {
+		if op, ok := isa.ParseOp(mn); ok {
+			ops = append(ops, op)
+		}
+	}
+	return append(pats, isa.SafePatterns(ops)...)
+}

@@ -1,0 +1,95 @@
+package hhoudini
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hhoudini/internal/sat"
+)
+
+// abductResult is the outcome of one O_abduct invocation.
+type abductResult struct {
+	// preds is the synthesized abduct (empty = target is inductive under
+	// the environment assumption alone); nil together with ok==false means
+	// no abduct exists over the candidate set.
+	preds []Pred
+	ok    bool
+}
+
+// abduct implements O_abduct (§3.2.3): it searches for a conjunction over
+// the candidate predicates that makes target 1-step relatively inductive,
+// using the paper's single UNSAT-core query
+//
+//	⋀_v P_V ∧ p_target ∧ ¬p'_target
+//
+// Candidates are attached through selector literals assumed at solve time;
+// if the query is SAT there is no abduct; if UNSAT, the (locally
+// minimized, mirroring cvc5's minimal-unsat-cores) core over the selectors
+// is the abduct. Since ⋀P_V ∧ p_target is non-contradictory — every
+// candidate and the target hold on the positive examples (P-S) — the
+// UNSAT-ness must come from ¬p'_target, making the extraction sound.
+func (l *Learner) abduct(target Pred, cands []Pred) (abductResult, error) {
+	start := time.Now()
+	defer func() {
+		l.stats.recordQuery(time.Since(start))
+	}()
+
+	enc, err := l.sys.newEncoder()
+	if err != nil {
+		return abductResult{}, err
+	}
+	cur, err := target.Encode(enc, false)
+	if err != nil {
+		return abductResult{}, err
+	}
+	next, err := target.Encode(enc, true)
+	if err != nil {
+		return abductResult{}, err
+	}
+	enc.AssertLit(cur)
+	enc.AssertLit(next.Not())
+
+	sels := make([]sat.Lit, 0, len(cands))
+	bySel := make(map[sat.Lit]Pred, len(cands))
+	for _, p := range cands {
+		if p.ID() == target.ID() {
+			continue // already asserted unconditionally
+		}
+		lit, err := p.Encode(enc, false)
+		if err != nil {
+			return abductResult{}, err
+		}
+		s := sat.PosLit(enc.S.NewVar())
+		enc.S.AddClause(s.Not(), lit) // s → p
+		sels = append(sels, s)
+		bySel[s] = p
+	}
+
+	st, core := enc.S.SolveWithCore(sels)
+	switch st {
+	case sat.Sat:
+		return abductResult{ok: false}, nil
+	case sat.Unknown:
+		return abductResult{}, fmt.Errorf("hhoudini: solver gave up on abduction query for %s", target)
+	}
+	if l.opts.MinimizeCores {
+		// Bias toward the weakest abduct (§3.2.3): deletion-based
+		// minimization drops literals front-to-back, so putting the
+		// strongest (highest-tier) predicates first removes them whenever
+		// the weaker ones suffice.
+		sort.SliceStable(core, func(i, j int) bool {
+			return tierOf(bySel[core[i]]) > tierOf(bySel[core[j]])
+		})
+		core = enc.S.MinimizeCore(core)
+	}
+	out := make([]Pred, 0, len(core))
+	for _, s := range core {
+		p, ok := bySel[s]
+		if !ok {
+			return abductResult{}, fmt.Errorf("hhoudini: core literal %v is not a selector", s)
+		}
+		out = append(out, p)
+	}
+	return abductResult{preds: out, ok: true}, nil
+}

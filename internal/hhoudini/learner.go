@@ -1,0 +1,511 @@
+package hhoudini
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"hhoudini/internal/circuit"
+)
+
+// Options tune the learner.
+type Options struct {
+	// Workers is the number of parallel abduction workers (§3.2.4). 1
+	// runs the algorithm sequentially and deterministically. 0 defaults
+	// to GOMAXPROCS.
+	Workers int
+	// MinimizeCores shrinks every UNSAT core to a locally minimal one
+	// before using it as an abduct (the paper's cvc5 minimal-unsat-cores
+	// setting). Disabling it is the core-minimization ablation.
+	MinimizeCores bool
+	// StagedMining feeds the abduction oracle increasingly large candidate
+	// subsets (tier by tier) instead of everything at once — the
+	// incremental mining variant of §3.2.3 footnote 4.
+	StagedMining bool
+}
+
+// DefaultOptions mirror the paper's configuration.
+func DefaultOptions() Options {
+	return Options{Workers: 1, MinimizeCores: true}
+}
+
+// Tiered is an optional interface predicates may implement to support
+// staged mining; lower tiers are offered to the abduction oracle first.
+type Tiered interface {
+	Tier() int
+}
+
+func tierOf(p Pred) int {
+	if t, ok := p.(Tiered); ok {
+		return t.Tier()
+	}
+	return 0
+}
+
+// Stats aggregates the instrumentation behind the paper's Figures 4 and 5.
+type Stats struct {
+	mu         sync.Mutex
+	Tasks      int64 // H-Houdini task bodies executed (Fig. 5 x-axis)
+	Backtracks int64 // re-syntheses caused by failed predicates (Fig. 5)
+	Queries    int64 // SMT (SAT) queries issued
+	queryTimes []time.Duration
+	taskTimes  []time.Duration
+	WallTime   time.Duration
+	// span is the critical-path length through the task dependency graph:
+	// the wall time an execution with unbounded workers could not go below
+	// (the paper's "parallel span", Fig. 2/3).
+	span time.Duration
+}
+
+// Span returns the critical-path estimate accumulated during Learn.
+func (s *Stats) Span() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.span
+}
+
+// TotalTaskTime sums all task durations (the total parallelizable work).
+func (s *Stats) TotalTaskTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total time.Duration
+	for _, d := range s.taskTimes {
+		total += d
+	}
+	return total
+}
+
+func (s *Stats) recordQuery(d time.Duration) {
+	s.mu.Lock()
+	s.Queries++
+	s.queryTimes = append(s.queryTimes, d)
+	s.mu.Unlock()
+}
+
+func (s *Stats) recordTask(d time.Duration) {
+	s.mu.Lock()
+	s.taskTimes = append(s.taskTimes, d)
+	s.mu.Unlock()
+}
+
+// TaskTimePercentile returns the p-quantile (0..1) of per-task times (all
+// time spent in a task body: slicing, mining and solving — Fig. 4's "task
+// time").
+func (s *Stats) TaskTimePercentile(p float64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.taskTimes) == 0 {
+		return 0
+	}
+	ts := append([]time.Duration(nil), s.taskTimes...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	idx := int(p * float64(len(ts)-1))
+	return ts[idx]
+}
+
+// MedianTaskTime is the Fig. 4 companion metric to MedianQueryTime.
+func (s *Stats) MedianTaskTime() time.Duration { return s.TaskTimePercentile(0.5) }
+
+// QueryTimePercentile returns the p-quantile (0..1) of per-query times.
+func (s *Stats) QueryTimePercentile(p float64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queryTimes) == 0 {
+		return 0
+	}
+	ts := append([]time.Duration(nil), s.queryTimes...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	idx := int(p * float64(len(ts)-1))
+	return ts[idx]
+}
+
+// MedianQueryTime is the Fig. 4 metric.
+func (s *Stats) MedianQueryTime() time.Duration { return s.QueryTimePercentile(0.5) }
+
+// TotalQueryTime sums all query durations (CPU time spent in the solver).
+func (s *Stats) TotalQueryTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total time.Duration
+	for _, d := range s.queryTimes {
+		total += d
+	}
+	return total
+}
+
+// Invariant is a learned inductive invariant: the conjunction of Preds. It
+// proves each predicate in Targets (which are members of Preds).
+type Invariant struct {
+	Preds   []Pred
+	Targets []Pred
+}
+
+// Size is the number of predicates (the paper's "invariant size", Table 1).
+func (inv *Invariant) Size() int { return len(inv.Preds) }
+
+// Contains reports whether the invariant includes a predicate by ID.
+func (inv *Invariant) Contains(id string) bool {
+	for _, p := range inv.Preds {
+		if p.ID() == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Learner runs the H-Houdini algorithm over a system with pluggable
+// slicing and mining oracles.
+type Learner struct {
+	sys   *System
+	slice SliceOracle
+	mine  MineOracle
+	opts  Options
+	stats *Stats
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	entries map[string]*entry
+	failed  map[string]bool
+	queue   []string
+	active  int
+	err     error
+}
+
+type entry struct {
+	pred   Pred
+	solved bool
+	queued bool
+	abduct []Pred
+	deps   map[string]bool // IDs of entries whose abduct references this one
+	// chainIn is the longest dependency chain (in task time) leading to
+	// this obligation; chainIn + own task time feeds the span estimate.
+	chainIn time.Duration
+}
+
+// NewLearner builds a learner with the default COI slicing oracle.
+func NewLearner(sys *System, mine MineOracle, opts Options) *Learner {
+	l := &Learner{
+		sys:     sys,
+		slice:   NewCOISlicer(sys.Circuit),
+		mine:    mine,
+		opts:    opts,
+		stats:   &Stats{},
+		entries: make(map[string]*entry),
+		failed:  make(map[string]bool),
+	}
+	if l.opts.Workers == 0 {
+		l.opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Stats exposes the instrumentation collected during Learn.
+func (l *Learner) Stats() *Stats { return l.stats }
+
+// FailedPreds returns the IDs in P_fail after learning — predicates proven
+// unable to appear in any invariant. Useful for diagnosing backtracking.
+func (l *Learner) FailedPreds() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.failed))
+	for id := range l.failed {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Learn runs H-Houdini for the given target predicates (the property P,
+// possibly a conjunction) and returns the inductive invariant proving all
+// of them, or nil if none exists within the predicate language.
+func (l *Learner) Learn(targets []Pred) (*Invariant, error) {
+	start := time.Now()
+	defer func() { l.stats.WallTime += time.Since(start) }()
+
+	// The property must at least hold initially.
+	init := circuit.InitSnapshot(l.sys.Circuit)
+	for _, t := range targets {
+		ok, err := t.Eval(l.sys.Circuit, init)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil // property violated in the initial state
+		}
+	}
+
+	l.mu.Lock()
+	for _, t := range targets {
+		l.getOrCreateLocked(t)
+		l.enqueueLocked(t.ID())
+	}
+	l.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for w := 0; w < l.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.worker()
+		}()
+	}
+	wg.Wait()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return nil, l.err
+	}
+	for _, t := range targets {
+		if l.failed[t.ID()] {
+			return nil, nil // None: no invariant proves the property
+		}
+	}
+	return l.assembleLocked(targets)
+}
+
+func (l *Learner) getOrCreateLocked(p Pred) *entry {
+	e, ok := l.entries[p.ID()]
+	if !ok {
+		e = &entry{pred: p, deps: make(map[string]bool)}
+		l.entries[p.ID()] = e
+	}
+	return e
+}
+
+func (l *Learner) enqueueLocked(id string) {
+	e := l.entries[id]
+	if e == nil || e.queued || e.solved || l.failed[id] {
+		return
+	}
+	e.queued = true
+	l.queue = append(l.queue, id)
+	l.cond.Broadcast()
+}
+
+// worker pulls obligations until the global fixpoint is reached.
+func (l *Learner) worker() {
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && l.active > 0 && l.err == nil {
+			l.cond.Wait()
+		}
+		if (len(l.queue) == 0 && l.active == 0) || l.err != nil {
+			l.cond.Broadcast()
+			l.mu.Unlock()
+			return
+		}
+		id := l.queue[0]
+		l.queue = l.queue[1:]
+		e := l.entries[id]
+		e.queued = false
+		if e.solved || l.failed[id] {
+			l.mu.Unlock()
+			continue
+		}
+		l.active++
+		pred := e.pred
+		l.mu.Unlock()
+
+		err := l.solveOne(pred)
+
+		l.mu.Lock()
+		l.active--
+		if err != nil && l.err == nil {
+			l.err = err
+		}
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+// solveOne runs one H-Houdini task body: slice, mine, abduct, record.
+func (l *Learner) solveOne(pred Pred) error {
+	taskStart := time.Now()
+	l.mu.Lock()
+	chainIn := l.entries[pred.ID()].chainIn
+	l.mu.Unlock()
+	defer func() {
+		d := time.Since(taskStart)
+		l.stats.recordTask(d)
+		l.stats.mu.Lock()
+		if out := chainIn + d; out > l.stats.span {
+			l.stats.span = out
+		}
+		l.stats.mu.Unlock()
+	}()
+	l.stats.mu.Lock()
+	l.stats.Tasks++
+	l.stats.mu.Unlock()
+
+	slice, err := l.slice.Slice(pred)
+	if err != nil {
+		return err
+	}
+	cands, err := l.mine.Mine(pred, slice)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	live := make([]Pred, 0, len(cands))
+	for _, c := range cands {
+		if !l.failed[c.ID()] {
+			live = append(live, c)
+		}
+	}
+	l.mu.Unlock()
+
+	res, err := l.runAbduct(pred, live)
+	if err != nil {
+		return err
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	id := pred.ID()
+	e := l.entries[id]
+	if !res.ok {
+		l.failLocked(id)
+		return nil
+	}
+	// A member may have failed while we were solving; retry if so
+	// (the soln ∩ P_fail check of Algorithm 1, line 3).
+	for _, m := range res.preds {
+		if l.failed[m.ID()] {
+			l.stats.mu.Lock()
+			l.stats.Backtracks++
+			l.stats.mu.Unlock()
+			l.enqueueLocked(id)
+			return nil
+		}
+	}
+	e.solved = true
+	e.abduct = res.preds
+	chainOut := e.chainIn + time.Since(taskStart)
+	for _, m := range res.preds {
+		c := l.getOrCreateLocked(m)
+		c.deps[id] = true
+		if chainOut > c.chainIn {
+			c.chainIn = chainOut
+		}
+		if !c.solved {
+			l.enqueueLocked(m.ID())
+		}
+	}
+	return nil
+}
+
+// runAbduct dispatches to the single-shot or staged abduction strategy.
+// Candidates violated by the initial state are dropped first: s0 is always
+// a positive example (Definition 4.8), so such predicates can never appear
+// in an invariant — this keeps the learner sound even against mining
+// oracles that do not fully honor Contract 2.
+func (l *Learner) runAbduct(pred Pred, cands []Pred) (abductResult, error) {
+	init := circuit.InitSnapshot(l.sys.Circuit)
+	kept := cands[:0]
+	for _, c := range cands {
+		ok, err := c.Eval(l.sys.Circuit, init)
+		if err != nil {
+			return abductResult{}, err
+		}
+		if ok {
+			kept = append(kept, c)
+		}
+	}
+	cands = kept
+	if !l.opts.StagedMining {
+		return l.abduct(pred, cands)
+	}
+	maxTier := 0
+	for _, c := range cands {
+		if t := tierOf(c); t > maxTier {
+			maxTier = t
+		}
+	}
+	for tier := 0; tier <= maxTier; tier++ {
+		subset := make([]Pred, 0, len(cands))
+		for _, c := range cands {
+			if tierOf(c) <= tier {
+				subset = append(subset, c)
+			}
+		}
+		res, err := l.abduct(pred, subset)
+		if err != nil {
+			return abductResult{}, err
+		}
+		if res.ok {
+			return res, nil
+		}
+	}
+	return abductResult{ok: false}, nil
+}
+
+// failLocked marks a predicate unusable and partially backtracks: every
+// memoized solution referencing it is invalidated and re-enqueued (§3.2.1
+// — only the failure path is squashed; all other solutions are reused).
+func (l *Learner) failLocked(id string) {
+	if l.failed[id] {
+		return
+	}
+	l.failed[id] = true
+	e := l.entries[id]
+	if e == nil {
+		return
+	}
+	for depID := range e.deps {
+		d := l.entries[depID]
+		if d == nil || !d.solved {
+			continue
+		}
+		uses := false
+		for _, m := range d.abduct {
+			if m.ID() == id {
+				uses = true
+				break
+			}
+		}
+		if uses {
+			d.solved = false
+			d.abduct = nil
+			l.stats.mu.Lock()
+			l.stats.Backtracks++
+			l.stats.mu.Unlock()
+			l.enqueueLocked(depID)
+		}
+	}
+}
+
+// assembleLocked composes the hierarchy of abducts into the monolithic
+// invariant (the correct-by-construction composition of §3.1): the closure
+// of the targets under abduct membership.
+func (l *Learner) assembleLocked(targets []Pred) (*Invariant, error) {
+	seen := make(map[string]bool)
+	var preds []Pred
+	var stack []Pred
+	for _, t := range targets {
+		if !seen[t.ID()] {
+			seen[t.ID()] = true
+			stack = append(stack, t)
+		}
+	}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		preds = append(preds, p)
+		e := l.entries[p.ID()]
+		if e == nil || !e.solved {
+			return nil, fmt.Errorf("hhoudini: internal: %s in closure but unsolved", p)
+		}
+		for _, m := range e.abduct {
+			if !seen[m.ID()] {
+				seen[m.ID()] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	sort.Slice(preds, func(i, j int) bool { return preds[i].ID() < preds[j].ID() })
+	return &Invariant{Preds: preds, Targets: targets}, nil
+}

@@ -1,0 +1,31 @@
+package hhoudini
+
+import (
+	"hhoudini/internal/circuit"
+	"hhoudini/internal/sat"
+)
+
+// System is the transition system under verification: a circuit plus an
+// optional environment assumption constraining the primary inputs during
+// every transition. For VeloCT the assumption restricts the instruction
+// input to the proposed safe set plus ε (Definition 4.4 quantifies over
+// sequences of safe instructions, so the transition relation is taken
+// under safe inputs).
+type System struct {
+	Circuit *circuit.Circuit
+	// Constrain asserts the environment assumption into an encoder, or is
+	// nil when inputs are unconstrained.
+	Constrain func(enc *circuit.Encoder) error
+}
+
+// newEncoder builds a fresh solver+encoder pair with the environment
+// assumption asserted.
+func (s *System) newEncoder() (*circuit.Encoder, error) {
+	enc := circuit.NewEncoder(s.Circuit, sat.New())
+	if s.Constrain != nil {
+		if err := s.Constrain(enc); err != nil {
+			return nil, err
+		}
+	}
+	return enc, nil
+}

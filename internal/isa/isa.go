@@ -1,0 +1,393 @@
+// Package isa provides an RV32-style instruction-set substrate: mnemonics,
+// binary encodings, a decoder, and the mask/match pattern generation that
+// backs the InSafeSet predicate (§5.1.1 of the paper, "automatically
+// generated from the RISC-V specification").
+//
+// The encodings are the standard RV32I + M-extension formats, so the
+// patterns produced here have the same shape the paper derives from the
+// official specification.
+package isa
+
+import "fmt"
+
+// Op is an instruction mnemonic.
+type Op int
+
+// Instruction mnemonics (RV32I base + M extension).
+const (
+	OpInvalid Op = iota
+	// R-type ALU.
+	OpAdd
+	OpSub
+	OpSll
+	OpSlt
+	OpSltu
+	OpXor
+	OpSrl
+	OpSra
+	OpOr
+	OpAnd
+	// M extension.
+	OpMul
+	OpMulh
+	OpMulhsu
+	OpMulhu
+	OpDiv
+	OpDivu
+	OpRem
+	OpRemu
+	// I-type ALU.
+	OpAddi
+	OpSlti
+	OpSltiu
+	OpXori
+	OpOri
+	OpAndi
+	OpSlli
+	OpSrli
+	OpSrai
+	// Upper immediates.
+	OpLui
+	OpAuipc
+	// Memory.
+	OpLb
+	OpLh
+	OpLw
+	OpLbu
+	OpLhu
+	OpSb
+	OpSh
+	OpSw
+	// Control flow.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+	OpJal
+	OpJalr
+	numOps
+)
+
+type format int
+
+const (
+	fmtR format = iota
+	fmtI
+	fmtIShift
+	fmtU
+	fmtS
+	fmtB
+	fmtJ
+)
+
+type opInfo struct {
+	name   string
+	format format
+	opcode uint32 // bits 6:0
+	funct3 uint32 // bits 14:12
+	funct7 uint32 // bits 31:25 (R-type and shift-immediates)
+}
+
+const (
+	opcOP     = 0b0110011
+	opcOPIMM  = 0b0010011
+	opcLUI    = 0b0110111
+	opcAUIPC  = 0b0010111
+	opcLOAD   = 0b0000011
+	opcSTORE  = 0b0100011
+	opcBRANCH = 0b1100011
+	opcJAL    = 0b1101111
+	opcJALR   = 0b1100111
+)
+
+var opTable = [numOps]opInfo{
+	OpAdd:    {"add", fmtR, opcOP, 0b000, 0b0000000},
+	OpSub:    {"sub", fmtR, opcOP, 0b000, 0b0100000},
+	OpSll:    {"sll", fmtR, opcOP, 0b001, 0b0000000},
+	OpSlt:    {"slt", fmtR, opcOP, 0b010, 0b0000000},
+	OpSltu:   {"sltu", fmtR, opcOP, 0b011, 0b0000000},
+	OpXor:    {"xor", fmtR, opcOP, 0b100, 0b0000000},
+	OpSrl:    {"srl", fmtR, opcOP, 0b101, 0b0000000},
+	OpSra:    {"sra", fmtR, opcOP, 0b101, 0b0100000},
+	OpOr:     {"or", fmtR, opcOP, 0b110, 0b0000000},
+	OpAnd:    {"and", fmtR, opcOP, 0b111, 0b0000000},
+	OpMul:    {"mul", fmtR, opcOP, 0b000, 0b0000001},
+	OpMulh:   {"mulh", fmtR, opcOP, 0b001, 0b0000001},
+	OpMulhsu: {"mulhsu", fmtR, opcOP, 0b010, 0b0000001},
+	OpMulhu:  {"mulhu", fmtR, opcOP, 0b011, 0b0000001},
+	OpDiv:    {"div", fmtR, opcOP, 0b100, 0b0000001},
+	OpDivu:   {"divu", fmtR, opcOP, 0b101, 0b0000001},
+	OpRem:    {"rem", fmtR, opcOP, 0b110, 0b0000001},
+	OpRemu:   {"remu", fmtR, opcOP, 0b111, 0b0000001},
+	OpAddi:   {"addi", fmtI, opcOPIMM, 0b000, 0},
+	OpSlti:   {"slti", fmtI, opcOPIMM, 0b010, 0},
+	OpSltiu:  {"sltiu", fmtI, opcOPIMM, 0b011, 0},
+	OpXori:   {"xori", fmtI, opcOPIMM, 0b100, 0},
+	OpOri:    {"ori", fmtI, opcOPIMM, 0b110, 0},
+	OpAndi:   {"andi", fmtI, opcOPIMM, 0b111, 0},
+	OpSlli:   {"slli", fmtIShift, opcOPIMM, 0b001, 0b0000000},
+	OpSrli:   {"srli", fmtIShift, opcOPIMM, 0b101, 0b0000000},
+	OpSrai:   {"srai", fmtIShift, opcOPIMM, 0b101, 0b0100000},
+	OpLui:    {"lui", fmtU, opcLUI, 0, 0},
+	OpAuipc:  {"auipc", fmtU, opcAUIPC, 0, 0},
+	OpLb:     {"lb", fmtI, opcLOAD, 0b000, 0},
+	OpLh:     {"lh", fmtI, opcLOAD, 0b001, 0},
+	OpLw:     {"lw", fmtI, opcLOAD, 0b010, 0},
+	OpLbu:    {"lbu", fmtI, opcLOAD, 0b100, 0},
+	OpLhu:    {"lhu", fmtI, opcLOAD, 0b101, 0},
+	OpSb:     {"sb", fmtS, opcSTORE, 0b000, 0},
+	OpSh:     {"sh", fmtS, opcSTORE, 0b001, 0},
+	OpSw:     {"sw", fmtS, opcSTORE, 0b010, 0},
+	OpBeq:    {"beq", fmtB, opcBRANCH, 0b000, 0},
+	OpBne:    {"bne", fmtB, opcBRANCH, 0b001, 0},
+	OpBlt:    {"blt", fmtB, opcBRANCH, 0b100, 0},
+	OpBge:    {"bge", fmtB, opcBRANCH, 0b101, 0},
+	OpBltu:   {"bltu", fmtB, opcBRANCH, 0b110, 0},
+	OpBgeu:   {"bgeu", fmtB, opcBRANCH, 0b111, 0},
+	OpJal:    {"jal", fmtJ, opcJAL, 0, 0},
+	OpJalr:   {"jalr", fmtI, opcJALR, 0b000, 0},
+}
+
+// AllOps lists every defined mnemonic in a stable order.
+func AllOps() []Op {
+	out := make([]Op, 0, int(numOps)-1)
+	for op := OpAdd; op < numOps; op++ {
+		out = append(out, op)
+	}
+	return out
+}
+
+// ParseOp resolves a mnemonic string, e.g. "add".
+func ParseOp(name string) (Op, bool) {
+	for op := OpAdd; op < numOps; op++ {
+		if opTable[op].name == name {
+			return op, true
+		}
+	}
+	return OpInvalid, false
+}
+
+func (op Op) valid() bool { return op > OpInvalid && op < numOps }
+
+// String returns the mnemonic.
+func (op Op) String() string {
+	if !op.valid() {
+		return "invalid"
+	}
+	return opTable[op].name
+}
+
+// IsLoad reports whether op reads memory.
+func (op Op) IsLoad() bool { return op.valid() && opTable[op].opcode == opcLOAD }
+
+// IsStore reports whether op writes memory.
+func (op Op) IsStore() bool { return op.valid() && opTable[op].opcode == opcSTORE }
+
+// IsMem reports whether op accesses memory.
+func (op Op) IsMem() bool { return op.IsLoad() || op.IsStore() }
+
+// IsBranch reports whether op is a conditional branch.
+func (op Op) IsBranch() bool { return op.valid() && opTable[op].opcode == opcBRANCH }
+
+// IsJump reports whether op is an unconditional jump.
+func (op Op) IsJump() bool {
+	return op.valid() && (opTable[op].opcode == opcJAL || opTable[op].opcode == opcJALR)
+}
+
+// IsControlFlow reports whether op redirects the program counter.
+func (op Op) IsControlFlow() bool { return op.IsBranch() || op.IsJump() }
+
+// IsMulDiv reports whether op is in the M extension.
+func (op Op) IsMulDiv() bool {
+	return op.valid() && opTable[op].format == fmtR && opTable[op].funct7 == 1
+}
+
+// IsMul reports whether op is a multiply (not divide/remainder).
+func (op Op) IsMul() bool { return op == OpMul || op == OpMulh || op == OpMulhsu || op == OpMulhu }
+
+// IsDiv reports whether op is a divide or remainder.
+func (op Op) IsDiv() bool { return op == OpDiv || op == OpDivu || op == OpRem || op == OpRemu }
+
+// HasRs2 reports whether op reads a second register operand.
+func (op Op) HasRs2() bool {
+	if !op.valid() {
+		return false
+	}
+	switch opTable[op].format {
+	case fmtR, fmtS, fmtB:
+		return true
+	}
+	return false
+}
+
+// Instr is a decoded instruction.
+type Instr struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32
+}
+
+// String renders the instruction in a readable assembly-like form.
+func (i Instr) String() string {
+	return fmt.Sprintf("%s rd=x%d rs1=x%d rs2=x%d imm=%d", i.Op, i.Rd, i.Rs1, i.Rs2, i.Imm)
+}
+
+// Encode produces the 32-bit machine word.
+func (i Instr) Encode() uint32 {
+	if !i.Op.valid() {
+		return 0
+	}
+	info := opTable[i.Op]
+	rd := uint32(i.Rd) & 31
+	rs1 := uint32(i.Rs1) & 31
+	rs2 := uint32(i.Rs2) & 31
+	imm := uint32(i.Imm)
+	base := info.opcode | info.funct3<<12
+	switch info.format {
+	case fmtR:
+		return base | rd<<7 | rs1<<15 | rs2<<20 | info.funct7<<25
+	case fmtI:
+		return base | rd<<7 | rs1<<15 | (imm&0xfff)<<20
+	case fmtIShift:
+		return base | rd<<7 | rs1<<15 | (imm&31)<<20 | info.funct7<<25
+	case fmtU:
+		return base | rd<<7 | (imm & 0xfffff000)
+	case fmtS:
+		return base | rs1<<15 | rs2<<20 | (imm&0x1f)<<7 | (imm>>5&0x7f)<<25
+	case fmtB:
+		return base | rs1<<15 | rs2<<20 |
+			((imm>>11)&1)<<7 | ((imm>>1)&0xf)<<8 |
+			((imm>>5)&0x3f)<<25 | ((imm>>12)&1)<<31
+	case fmtJ:
+		return base | rd<<7 |
+			(imm & 0xff000) | ((imm>>11)&1)<<20 |
+			((imm>>1)&0x3ff)<<21 | ((imm>>20)&1)<<31
+	}
+	return 0
+}
+
+// Pattern returns the (mask, match) pair identifying op: a word w encodes
+// op iff w&mask == match. Operand fields are don't-care.
+func Pattern(op Op) (mask, match uint32) {
+	if !op.valid() {
+		return 0xffffffff, 0xffffffff // matches nothing useful
+	}
+	info := opTable[op]
+	switch info.format {
+	case fmtR, fmtIShift:
+		return 0xfe00707f, info.opcode | info.funct3<<12 | info.funct7<<25
+	case fmtI, fmtS, fmtB:
+		return 0x0000707f, info.opcode | info.funct3<<12
+	case fmtU, fmtJ:
+		return 0x0000007f, info.opcode
+	}
+	return 0xffffffff, 0xffffffff
+}
+
+// MaskMatch is a single InSafeSet pattern.
+type MaskMatch struct {
+	Mask, Match uint32
+}
+
+// SafePatterns generates the InSafeSet pattern list for a set of ops —
+// the bit patterns "automatically generated from the RISC-V specification"
+// (§5.1.1). A word is in the safe set iff it matches some pattern.
+func SafePatterns(ops []Op) []MaskMatch {
+	out := make([]MaskMatch, 0, len(ops))
+	seen := make(map[MaskMatch]bool)
+	for _, op := range ops {
+		m, v := Pattern(op)
+		mm := MaskMatch{m, v}
+		if !seen[mm] {
+			seen[mm] = true
+			out = append(out, mm)
+		}
+	}
+	return out
+}
+
+// Matches reports whether a word satisfies any of the patterns.
+func Matches(word uint32, pats []MaskMatch) bool {
+	for _, p := range pats {
+		if word&p.Mask == p.Match {
+			return true
+		}
+	}
+	return false
+}
+
+// Decode interprets a 32-bit machine word. The second result is false for
+// words that encode no known instruction.
+func Decode(word uint32) (Instr, bool) {
+	for op := OpAdd; op < numOps; op++ {
+		m, v := Pattern(op)
+		if word&m != v {
+			continue
+		}
+		info := opTable[op]
+		i := Instr{Op: op}
+		switch info.format {
+		case fmtR:
+			i.Rd = uint8(word >> 7 & 31)
+			i.Rs1 = uint8(word >> 15 & 31)
+			i.Rs2 = uint8(word >> 20 & 31)
+		case fmtI:
+			i.Rd = uint8(word >> 7 & 31)
+			i.Rs1 = uint8(word >> 15 & 31)
+			i.Imm = int32(word) >> 20
+		case fmtIShift:
+			i.Rd = uint8(word >> 7 & 31)
+			i.Rs1 = uint8(word >> 15 & 31)
+			i.Imm = int32(word >> 20 & 31)
+		case fmtU:
+			i.Rd = uint8(word >> 7 & 31)
+			i.Imm = int32(word & 0xfffff000)
+		case fmtS:
+			i.Rs1 = uint8(word >> 15 & 31)
+			i.Rs2 = uint8(word >> 20 & 31)
+			i.Imm = int32(word)>>25<<5 | int32(word>>7&31)
+		case fmtB:
+			i.Rs1 = uint8(word >> 15 & 31)
+			i.Rs2 = uint8(word >> 20 & 31)
+			imm := int32(word)>>31<<12 | int32(word>>7&1)<<11 |
+				int32(word>>25&0x3f)<<5 | int32(word>>8&0xf)<<1
+			i.Imm = imm
+		case fmtJ:
+			i.Rd = uint8(word >> 7 & 31)
+			imm := int32(word)>>31<<20 | int32(word>>12&0xff)<<12 |
+				int32(word>>20&1)<<11 | int32(word>>21&0x3ff)<<1
+			i.Imm = imm
+		}
+		return i, true
+	}
+	return Instr{}, false
+}
+
+// NOP returns the canonical no-op encoding (addi x0, x0, 0).
+func NOP() uint32 { return Instr{Op: OpAddi}.Encode() }
+
+// --- Assembler convenience constructors ------------------------------------
+
+// R builds an R-type instruction.
+func R(op Op, rd, rs1, rs2 uint8) Instr { return Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// I builds an I-type (or shift-immediate) instruction.
+func I(op Op, rd, rs1 uint8, imm int32) Instr { return Instr{Op: op, Rd: rd, Rs1: rs1, Imm: imm} }
+
+// U builds a U-type instruction (imm is the full 32-bit value; the low 12
+// bits are dropped by the encoding).
+func U(op Op, rd uint8, imm int32) Instr { return Instr{Op: op, Rd: rd, Imm: imm} }
+
+// S builds a store instruction.
+func S(op Op, rs1, rs2 uint8, imm int32) Instr {
+	return Instr{Op: op, Rs1: rs1, Rs2: rs2, Imm: imm}
+}
+
+// B builds a branch instruction.
+func B(op Op, rs1, rs2 uint8, imm int32) Instr {
+	return Instr{Op: op, Rs1: rs1, Rs2: rs2, Imm: imm}
+}

@@ -1,0 +1,186 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, op := range AllOps() {
+		for iter := 0; iter < 100; iter++ {
+			in := Instr{
+				Op:  op,
+				Rd:  uint8(rng.Intn(32)),
+				Rs1: uint8(rng.Intn(32)),
+				Rs2: uint8(rng.Intn(32)),
+			}
+			switch opTable[op].format {
+			case fmtI:
+				in.Imm = int32(rng.Intn(4096)) - 2048
+			case fmtIShift:
+				in.Imm = int32(rng.Intn(32))
+			case fmtU:
+				in.Imm = int32(rng.Uint32()) &^ 0xfff
+			case fmtS:
+				in.Imm = int32(rng.Intn(4096)) - 2048
+			case fmtB:
+				in.Imm = (int32(rng.Intn(8192)) - 4096) &^ 1
+			case fmtJ:
+				in.Imm = (int32(rng.Intn(1<<21)) - 1<<20) &^ 1
+			}
+			// Fields irrelevant for the format must be zeroed for equality.
+			switch opTable[op].format {
+			case fmtI, fmtIShift:
+				in.Rs2 = 0
+			case fmtU, fmtJ:
+				in.Rs1, in.Rs2 = 0, 0
+			case fmtS, fmtB:
+				in.Rd = 0
+			}
+			word := in.Encode()
+			out, ok := Decode(word)
+			if !ok {
+				t.Fatalf("%s: decode failed for %#x (%v)", op, word, in)
+			}
+			if out != in {
+				t.Fatalf("%s: round trip %v → %#x → %v", op, in, word, out)
+			}
+		}
+	}
+}
+
+func TestKnownEncodings(t *testing.T) {
+	// Golden values cross-checked against the RISC-V spec.
+	cases := []struct {
+		in   Instr
+		want uint32
+	}{
+		{R(OpAdd, 1, 2, 3), 0x003100b3},
+		{R(OpSub, 1, 2, 3), 0x403100b3},
+		{R(OpMul, 5, 6, 7), 0x027302b3},
+		{I(OpAddi, 1, 2, 42), 0x02a10093},
+		{I(OpAddi, 0, 0, 0), 0x00000013}, // canonical NOP
+		{I(OpSlli, 3, 4, 5), 0x00521193},
+		{I(OpSrai, 3, 4, 5), 0x40525193},
+		{U(OpLui, 7, 0x12345000), 0x123453b7},
+		{I(OpLw, 8, 9, 16), 0x0104a403},
+		{S(OpSw, 9, 10, 16), 0x00a4a823},
+		{B(OpBeq, 1, 2, 16), 0x00208863},
+		{Instr{Op: OpJal, Rd: 1, Imm: 2048}, 0x001000ef},
+	}
+	for _, c := range cases {
+		if got := c.in.Encode(); got != c.want {
+			t.Errorf("%v: encode = %#08x, want %#08x", c.in, got, c.want)
+		}
+	}
+	if NOP() != 0x00000013 {
+		t.Errorf("NOP() = %#x", NOP())
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	for _, w := range []uint32{0, 0xffffffff, 0x7f, 0x0000007b} {
+		if in, ok := Decode(w); ok {
+			t.Errorf("Decode(%#x) unexpectedly succeeded: %v", w, in)
+		}
+	}
+}
+
+func TestPatternsDisjointPerWord(t *testing.T) {
+	// Every encoded instruction must match exactly one op's pattern.
+	rng := rand.New(rand.NewSource(2))
+	for _, op := range AllOps() {
+		in := Instr{Op: op, Rd: uint8(rng.Intn(32)), Rs1: uint8(rng.Intn(32)), Rs2: uint8(rng.Intn(32)), Imm: 0}
+		word := in.Encode()
+		matches := 0
+		for _, other := range AllOps() {
+			m, v := Pattern(other)
+			if word&m == v {
+				matches++
+			}
+		}
+		if matches != 1 {
+			t.Errorf("%s: word %#x matches %d patterns", op, word, matches)
+		}
+	}
+}
+
+func TestSafePatterns(t *testing.T) {
+	safe := []Op{OpAdd, OpAddi, OpXor, OpLui}
+	pats := SafePatterns(safe)
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 200; iter++ {
+		op := AllOps()[rng.Intn(len(AllOps()))]
+		in := Instr{Op: op, Rd: uint8(rng.Intn(32)), Rs1: uint8(rng.Intn(32)), Rs2: uint8(rng.Intn(32)), Imm: int32(rng.Intn(100))}
+		word := in.Encode()
+		want := op == OpAdd || op == OpAddi || op == OpXor || op == OpLui
+		if got := Matches(word, pats); got != want {
+			t.Fatalf("%s: Matches = %v, want %v", op, got, want)
+		}
+	}
+	// Deduplication: patterns for same-class ops collapse.
+	if n1, n2 := len(SafePatterns([]Op{OpAdd, OpAdd})), 1; n1 != n2 {
+		t.Errorf("duplicate ops should dedupe: %d", n1)
+	}
+}
+
+func TestCategories(t *testing.T) {
+	if !OpLw.IsLoad() || !OpLw.IsMem() || OpLw.IsStore() {
+		t.Error("lw categories")
+	}
+	if !OpSw.IsStore() || !OpSw.IsMem() || OpSw.IsLoad() {
+		t.Error("sw categories")
+	}
+	if !OpBeq.IsBranch() || !OpBeq.IsControlFlow() || OpBeq.IsJump() {
+		t.Error("beq categories")
+	}
+	if !OpJal.IsJump() || !OpJalr.IsJump() || !OpJal.IsControlFlow() {
+		t.Error("jal/jalr categories")
+	}
+	if !OpMul.IsMul() || !OpMul.IsMulDiv() || OpMul.IsDiv() {
+		t.Error("mul categories")
+	}
+	if !OpDiv.IsDiv() || !OpDiv.IsMulDiv() || OpDiv.IsMul() {
+		t.Error("div categories")
+	}
+	if OpAdd.IsMem() || OpAdd.IsControlFlow() || OpAdd.IsMulDiv() {
+		t.Error("add categories")
+	}
+	if !OpAdd.HasRs2() || OpAddi.HasRs2() || !OpSw.HasRs2() || OpLui.HasRs2() {
+		t.Error("HasRs2")
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for _, op := range AllOps() {
+		got, ok := ParseOp(op.String())
+		if !ok || got != op {
+			t.Errorf("ParseOp(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if _, ok := ParseOp("bogus"); ok {
+		t.Error("ParseOp(bogus) should fail")
+	}
+	if OpInvalid.String() != "invalid" || Op(999).String() != "invalid" {
+		t.Error("invalid op String")
+	}
+}
+
+// TestQuickDecodeEncodeFixpoint: any word that decodes must re-encode to a
+// word that decodes to the same instruction (encode∘decode is idempotent on
+// the decodable set, modulo don't-care operand bits).
+func TestQuickDecodeEncodeFixpoint(t *testing.T) {
+	f := func(word uint32) bool {
+		in, ok := Decode(word)
+		if !ok {
+			return true
+		}
+		in2, ok2 := Decode(in.Encode())
+		return ok2 && in2 == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

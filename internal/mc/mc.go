@@ -1,0 +1,268 @@
+// Package mc provides bounded model checking (BMC) and k-induction over
+// circuits — the conventional model-checking engines the paper's ecosystem
+// (btor2/btormc) provides around invariant learning. They serve three
+// roles in this repository: checking bad-state properties of imported
+// btor2 designs, producing concrete counterexample traces, and
+// cross-validating learned invariants (a k-inductive property must never
+// contradict a BMC run).
+package mc
+
+import (
+	"fmt"
+
+	"hhoudini/internal/circuit"
+	"hhoudini/internal/sat"
+)
+
+// Trace is a concrete counterexample. States[0] is the initial state;
+// States[i+1] results from applying Inputs[i] to States[i]. Inputs has one
+// more entry than there are steps: the final entry drives the
+// combinational logic of the last frame (where the bad wire fires).
+type Trace struct {
+	States []circuit.Snapshot
+	Inputs []circuit.Inputs
+}
+
+// Len returns the number of transition steps in the trace.
+func (t *Trace) Len() int { return len(t.States) - 1 }
+
+// unrolling ties k+1 encoder frames over one solver: frame t+1's
+// current-state variables equal frame t's next-state functions.
+// Environment constraints (1-bit wires) are asserted at every frame.
+type unrolling struct {
+	c           *circuit.Circuit
+	solver      *sat.Solver
+	frames      []*circuit.Encoder
+	constraints []string
+}
+
+func newUnrolling(c *circuit.Circuit, constraints []string) *unrolling {
+	return &unrolling{c: c, solver: sat.New(), constraints: constraints}
+}
+
+// frame returns the encoder for time step t, materializing frames as
+// needed.
+func (u *unrolling) frame(t int) (*circuit.Encoder, error) {
+	for len(u.frames) <= t {
+		enc := circuit.NewEncoder(u.c, u.solver)
+		// Materialize every port's variables up front so trace extraction
+		// never allocates fresh (model-less) variables after solving.
+		for _, p := range u.c.Inputs() {
+			if _, err := enc.InputLits(p.Name); err != nil {
+				return nil, err
+			}
+		}
+		for _, r := range u.c.Regs() {
+			if _, err := enc.RegLits(r.Name); err != nil {
+				return nil, err
+			}
+		}
+		for _, name := range u.constraints {
+			lits, err := enc.WireLits(name)
+			if err != nil {
+				return nil, err
+			}
+			if len(lits) != 1 {
+				return nil, fmt.Errorf("mc: constraint wire %q has width %d, want 1", name, len(lits))
+			}
+			u.solver.AddClause(lits[0])
+		}
+		if len(u.frames) > 0 {
+			prev := u.frames[len(u.frames)-1]
+			for _, r := range u.c.Regs() {
+				curLits, err := enc.RegLits(r.Name)
+				if err != nil {
+					return nil, err
+				}
+				nextLits, err := prev.RegNextLits(r.Name)
+				if err != nil {
+					return nil, err
+				}
+				for i := range curLits {
+					// curLits[i] ↔ nextLits[i]
+					u.solver.AddClause(curLits[i].Not(), nextLits[i])
+					u.solver.AddClause(curLits[i], nextLits[i].Not())
+				}
+			}
+		}
+		u.frames = append(u.frames, enc)
+	}
+	return u.frames[t], nil
+}
+
+// constrainInit pins frame 0 to the reset state.
+func (u *unrolling) constrainInit() error {
+	enc, err := u.frame(0)
+	if err != nil {
+		return err
+	}
+	for _, r := range u.c.Regs() {
+		lits, err := enc.RegLits(r.Name)
+		if err != nil {
+			return err
+		}
+		for bit, l := range lits {
+			if bit < 64 && r.Init&(1<<uint(bit)) != 0 {
+				u.solver.AddClause(l)
+			} else {
+				u.solver.AddClause(l.Not())
+			}
+		}
+	}
+	return nil
+}
+
+// badLit encodes the (1-bit) bad wire at frame t.
+func (u *unrolling) badLit(bad string, t int) (sat.Lit, error) {
+	enc, err := u.frame(t)
+	if err != nil {
+		return 0, err
+	}
+	lits, err := enc.WireLits(bad)
+	if err != nil {
+		return 0, err
+	}
+	if len(lits) != 1 {
+		return 0, fmt.Errorf("mc: bad wire %q has width %d, want 1", bad, len(lits))
+	}
+	return lits[0], nil
+}
+
+// extractTrace reads the model of a satisfiable unrolling back into a
+// concrete trace of length steps.
+func (u *unrolling) extractTrace(steps int) (*Trace, error) {
+	tr := &Trace{}
+	for t := 0; t <= steps; t++ {
+		enc := u.frames[t]
+		snap := make(circuit.Snapshot, len(u.c.Regs()))
+		for ri, r := range u.c.Regs() {
+			lits, err := enc.RegLits(r.Name)
+			if err != nil {
+				return nil, err
+			}
+			var v uint64
+			for bit, l := range lits {
+				if bit < 64 && u.solver.ModelValue(l) {
+					v |= 1 << uint(bit)
+				}
+			}
+			snap[ri] = v
+		}
+		tr.States = append(tr.States, snap)
+		in := circuit.Inputs{}
+		for _, p := range u.c.Inputs() {
+			lits, err := enc.InputLits(p.Name)
+			if err != nil {
+				return nil, err
+			}
+			var v uint64
+			for bit, l := range lits {
+				if bit < 64 && u.solver.ModelValue(l) {
+					v |= 1 << uint(bit)
+				}
+			}
+			in[p.Name] = v
+		}
+		tr.Inputs = append(tr.Inputs, in)
+	}
+	return tr, nil
+}
+
+// BMC searches for a reachable bad state within maxSteps transitions of the
+// reset state. It returns a concrete counterexample trace, or nil if the
+// bad wire is unreachable within the bound.
+func BMC(c *circuit.Circuit, bad string, maxSteps int) (*Trace, error) {
+	return BMCUnder(c, bad, maxSteps, nil)
+}
+
+// BMCUnder is BMC with environment constraints: each named 1-bit wire is
+// assumed true at every step (the btor2 "constraint" semantics).
+func BMCUnder(c *circuit.Circuit, bad string, maxSteps int, constraints []string) (*Trace, error) {
+	u := newUnrolling(c, constraints)
+	if err := u.constrainInit(); err != nil {
+		return nil, err
+	}
+	for t := 0; t <= maxSteps; t++ {
+		lit, err := u.badLit(bad, t)
+		if err != nil {
+			return nil, err
+		}
+		switch u.solver.Solve(lit) {
+		case sat.Sat:
+			return u.extractTrace(t)
+		case sat.Unknown:
+			return nil, fmt.Errorf("mc: BMC solver gave up at depth %d", t)
+		}
+	}
+	return nil, nil
+}
+
+// KInduction attempts to prove the bad wire unreachable using k-induction
+// (without path constraints, so it is sound but incomplete): the base case
+// is a BMC run of depth k-1; the step case checks that k consecutive good
+// states force a good successor. It returns (proved, counterexample,
+// error); at most one of proved/counterexample is set.
+func KInduction(c *circuit.Circuit, bad string, k int) (bool, *Trace, error) {
+	return KInductionUnder(c, bad, k, nil)
+}
+
+// KInductionUnder is KInduction with environment constraints assumed at
+// every step.
+func KInductionUnder(c *circuit.Circuit, bad string, k int, constraints []string) (bool, *Trace, error) {
+	if k < 1 {
+		return false, nil, fmt.Errorf("mc: k must be >= 1")
+	}
+	// Base case.
+	cex, err := BMCUnder(c, bad, k-1, constraints)
+	if err != nil {
+		return false, nil, err
+	}
+	if cex != nil {
+		return false, cex, nil
+	}
+	// Step case: frames 0..k with ¬bad at 0..k-1 and bad at k, arbitrary
+	// initial state.
+	u := newUnrolling(c, constraints)
+	for t := 0; t < k; t++ {
+		lit, err := u.badLit(bad, t)
+		if err != nil {
+			return false, nil, err
+		}
+		u.solver.AddClause(lit.Not())
+	}
+	lit, err := u.badLit(bad, k)
+	if err != nil {
+		return false, nil, err
+	}
+	switch u.solver.Solve(lit) {
+	case sat.Unsat:
+		return true, nil, nil
+	case sat.Unknown:
+		return false, nil, fmt.Errorf("mc: induction step solver gave up")
+	}
+	return false, nil, nil // not k-inductive (inconclusive)
+}
+
+// Replay runs a trace's inputs on a fresh simulator from the trace's
+// initial state and checks that the recorded states are reproduced; it
+// returns the final value of the named wire. Used to validate
+// counterexamples independently of the solver.
+func Replay(c *circuit.Circuit, tr *Trace, wire string) (uint64, error) {
+	sim := circuit.NewSim(c)
+	if err := sim.LoadSnapshot(tr.States[0]); err != nil {
+		return 0, err
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if err := sim.Step(tr.Inputs[i]); err != nil {
+			return 0, err
+		}
+		if !sim.Snapshot().Equal(tr.States[i+1]) {
+			return 0, fmt.Errorf("mc: trace diverges from simulation at step %d", i+1)
+		}
+	}
+	// Drive the final frame's inputs to evaluate the combinational wire.
+	if err := sim.SetInputs(tr.Inputs[len(tr.Inputs)-1]); err != nil {
+		return 0, err
+	}
+	return sim.PeekWire(wire)
+}

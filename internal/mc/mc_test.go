@@ -1,0 +1,226 @@
+package mc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hhoudini/internal/btor2"
+	"hhoudini/internal/circuit"
+)
+
+// counter builds an n-bit counter with a bad property "cnt == target".
+func counter(t *testing.T, width int, target uint64, gated bool) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder()
+	var en circuit.Signal = circuit.True
+	if gated {
+		en = b.Input("en", 1)[0]
+	}
+	cnt := b.Register("cnt", width, 0)
+	b.SetNext("cnt", b.MuxW(en, b.Inc(cnt), cnt))
+	b.Name("bad", circuit.Word{b.EqConst(cnt, target)})
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBMCFindsShortestCounterexample(t *testing.T) {
+	c := counter(t, 4, 6, false)
+	tr, err := BMC(c, "bad", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil {
+		t.Fatal("expected counterexample")
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("cex length %d, want 6", tr.Len())
+	}
+	v, err := Replay(c, tr, "bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatal("replayed trace does not hit the bad state")
+	}
+}
+
+func TestBMCRespectsBound(t *testing.T) {
+	c := counter(t, 4, 6, false)
+	tr, err := BMC(c, "bad", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != nil {
+		t.Fatal("bad state must be unreachable within 5 steps")
+	}
+}
+
+func TestBMCWithInputs(t *testing.T) {
+	// The gated counter needs en=1 six times; BMC must synthesize the
+	// input sequence.
+	c := counter(t, 4, 6, true)
+	tr, err := BMC(c, "bad", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil || tr.Len() != 6 {
+		t.Fatalf("cex = %+v", tr)
+	}
+	enables := 0
+	for i := 0; i < tr.Len(); i++ {
+		enables += int(tr.Inputs[i]["en"])
+	}
+	if enables != 6 {
+		t.Fatalf("cex enabled %d times, want 6", enables)
+	}
+	if v, err := Replay(c, tr, "bad"); err != nil || v != 1 {
+		t.Fatalf("replay: v=%d err=%v", v, err)
+	}
+}
+
+func TestKInductionProves(t *testing.T) {
+	// A 4-bit counter that wraps at 9 (never reaching 12): cnt' =
+	// (cnt==9) ? 0 : cnt+1. "cnt == 12" is unreachable but needs k>1
+	// because a single arbitrary state (e.g. 11) can step into 12.
+	b := circuit.NewBuilder()
+	cnt := b.Register("cnt", 4, 0)
+	wrap := b.EqConst(cnt, 9)
+	b.SetNext("cnt", b.MuxW(wrap, b.Const(0, 4), b.Inc(cnt)))
+	b.Name("bad", circuit.Word{b.EqConst(cnt, 12)})
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proved, cex, err := KInduction(c, "bad", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proved || cex != nil {
+		t.Fatal("k=1 must be inconclusive (11 → 12 is a step-case model)")
+	}
+	// With a large enough k the property becomes k-inductive: any chain of
+	// k good states starting above 9 runs off the wrap.
+	proved, cex, err = KInduction(c, "bad", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex != nil {
+		t.Fatal("no real counterexample exists")
+	}
+	if !proved {
+		t.Fatal("k=7 should prove unreachability")
+	}
+}
+
+func TestKInductionFindsRealCounterexample(t *testing.T) {
+	c := counter(t, 4, 3, false)
+	proved, cex, err := KInduction(c, "bad", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proved {
+		t.Fatal("property is violated; must not be proved")
+	}
+	if cex == nil || cex.Len() != 3 {
+		t.Fatalf("cex = %+v", cex)
+	}
+}
+
+func TestKInductionValidatesK(t *testing.T) {
+	c := counter(t, 4, 3, false)
+	if _, _, err := KInduction(c, "bad", 0); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+}
+
+func TestBMCUnknownWire(t *testing.T) {
+	c := counter(t, 4, 3, false)
+	if _, err := BMC(c, "ghost", 3); err == nil {
+		t.Fatal("expected error for unknown wire")
+	}
+}
+
+func TestBMCWideBadWireRejected(t *testing.T) {
+	b := circuit.NewBuilder()
+	r := b.Register("r", 2, 0)
+	b.SetNext("r", r)
+	b.Name("wide", r)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BMC(c, "wide", 2); err == nil {
+		t.Fatal("expected error for non-1-bit bad wire")
+	}
+}
+
+// TestBMCOnBtor2Model: end-to-end over the btor2 bridge.
+func TestBMCOnBtor2Model(t *testing.T) {
+	model := `
+1 sort bitvec 3
+2 sort bitvec 1
+3 state 1 cnt
+4 zero 1
+5 init 1 3 4
+6 one 1
+7 add 1 3 6
+8 next 1 3 7
+9 constd 1 5
+10 eq 2 3 9
+11 bad 10
+`
+	d, err := btor2.Parse(strings.NewReader(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := BMC(d.Circuit, d.Bads[0], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil || tr.Len() != 5 {
+		t.Fatalf("cex = %+v", tr)
+	}
+}
+
+// TestBMCAgreesWithRandomSimulation: if random simulation stumbles onto a
+// bad state within k steps, BMC at depth k must find a counterexample too
+// (it may be shorter).
+func TestBMCAgreesWithRandomSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 10; iter++ {
+		target := uint64(1 + rng.Intn(10))
+		c := counter(t, 4, target, true)
+
+		// Random simulation for 12 steps.
+		sim := circuit.NewSim(c)
+		hit := -1
+		for step := 1; step <= 12; step++ {
+			sim.Step(circuit.Inputs{"en": uint64(rng.Intn(2))})
+			if v, _ := sim.PeekWire("bad"); v == 1 {
+				hit = step
+				break
+			}
+		}
+		tr, err := BMC(c, "bad", 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit >= 0 {
+			if tr == nil {
+				t.Fatalf("iter %d: simulation hit bad at %d but BMC found nothing", iter, hit)
+			}
+			if tr.Len() > hit {
+				t.Fatalf("iter %d: BMC cex (%d) longer than simulated hit (%d)", iter, tr.Len(), hit)
+			}
+		}
+		if tr != nil {
+			if v, err := Replay(c, tr, "bad"); err != nil || v != 1 {
+				t.Fatalf("iter %d: replay failed: v=%d err=%v", iter, v, err)
+			}
+		}
+	}
+}

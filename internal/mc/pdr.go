@@ -1,0 +1,384 @@
+package mc
+
+import (
+	"fmt"
+
+	"hhoudini/internal/circuit"
+	"hhoudini/internal/sat"
+)
+
+// This file implements a bit-level IC3/PDR engine (Bradley VMCAI'11, Eén
+// et al. FMCAD'11) — the SAT-based incremental invariant learner the paper
+// positions H-Houdini against (§7: both use relative induction, but IC3
+// generalizes from counterexamples to induction while H-Houdini abducts
+// from positive examples). Having both engines in one repository lets the
+// test suite cross-check verdicts and makes the contrast concrete.
+//
+// The implementation is deliberately plain: full-model cubes generalized
+// by UNSAT cores, one incremental solver per frame, no ternary simulation.
+
+// PDRResult is the outcome of a PDR run.
+type PDRResult struct {
+	// Proved is true when the bad wire is unreachable; Invariant then
+	// holds the inductive clause set (each inner slice is a blocked cube:
+	// the invariant is the conjunction of the cubes' negations).
+	Proved bool
+	// Cex is a concrete counterexample trace when the bad state is
+	// reachable (extracted via BMC at the discovered depth).
+	Cex *Trace
+	// Frames is the number of frames explored.
+	Frames int
+	// Invariant holds the blocked cubes of the fixpoint frame when Proved.
+	Invariant []BlockedCube
+}
+
+// stateLit is one literal of a cube over the flattened state bits.
+type stateLit struct {
+	bit int // flat state-bit index
+	val bool
+}
+
+type pdrCube []stateLit
+
+// pdr carries the engine state.
+type pdr struct {
+	c           *circuit.Circuit
+	bad         string
+	maxFrame    int
+	constraints []string
+
+	// flat state-bit metadata
+	regOf []string // flat bit → register name
+	bitOf []int    // flat bit → bit position
+	init  []bool   // reset value per flat bit
+
+	frames [][]pdrCube // frames[i] = cubes blocked at frame i
+	rel    []*relSolver
+}
+
+// relSolver answers relative-induction and bad-intersection queries for
+// one frame: its clause database holds the transition relation plus the
+// (monotonically growing) blocked cubes of its frame.
+type relSolver struct {
+	enc      *circuit.Encoder
+	cur      []sat.Lit // flat current-state literals
+	next     []sat.Lit // flat next-state literals
+	badLit   sat.Lit
+	nClauses int // frame cubes already added
+}
+
+func newPDR(c *circuit.Circuit, bad string, maxFrame int, constraints []string) (*pdr, error) {
+	p := &pdr{c: c, bad: bad, maxFrame: maxFrame, constraints: constraints}
+	for _, r := range c.Regs() {
+		for b := 0; b < r.Width; b++ {
+			p.regOf = append(p.regOf, r.Name)
+			p.bitOf = append(p.bitOf, b)
+			p.init = append(p.init, b < 64 && r.Init&(1<<uint(b)) != 0)
+		}
+	}
+	return p, nil
+}
+
+func (p *pdr) newRelSolver() (*relSolver, error) {
+	enc := circuit.NewEncoder(p.c, sat.New())
+	rs := &relSolver{enc: enc}
+	for _, r := range p.c.Regs() {
+		cur, err := enc.RegLits(r.Name)
+		if err != nil {
+			return nil, err
+		}
+		next, err := enc.RegNextLits(r.Name)
+		if err != nil {
+			return nil, err
+		}
+		rs.cur = append(rs.cur, cur...)
+		rs.next = append(rs.next, next...)
+	}
+	bl, err := enc.WireLits(p.bad)
+	if err != nil {
+		return nil, err
+	}
+	if len(bl) != 1 {
+		return nil, fmt.Errorf("mc: bad wire %q has width %d, want 1", p.bad, len(bl))
+	}
+	rs.badLit = bl[0]
+	for _, name := range p.constraints {
+		lits, err := enc.WireLits(name)
+		if err != nil {
+			return nil, err
+		}
+		if len(lits) != 1 {
+			return nil, fmt.Errorf("mc: constraint wire %q has width %d, want 1", name, len(lits))
+		}
+		enc.S.AddClause(lits[0])
+	}
+	return rs, nil
+}
+
+// solverFor returns the relative solver whose clause database reflects
+// frames[level], catching up on newly blocked cubes. Frame 0 is the
+// initial state, pinned with unit clauses.
+func (p *pdr) solverFor(level int) (*relSolver, error) {
+	for len(p.rel) <= level {
+		rs, err := p.newRelSolver()
+		if err != nil {
+			return nil, err
+		}
+		if len(p.rel) == 0 { // F_0 = I
+			for bit, l := range rs.cur {
+				rs.enc.S.AddClause(l.XorSign(!p.init[bit]))
+			}
+		}
+		p.rel = append(p.rel, rs)
+	}
+	rs := p.rel[level]
+	cubes := p.frames[level]
+	for ; rs.nClauses < len(cubes); rs.nClauses++ {
+		cl := make([]sat.Lit, 0, len(cubes[rs.nClauses]))
+		for _, sl := range cubes[rs.nClauses] {
+			cl = append(cl, rs.cur[sl.bit].XorSign(sl.val)) // ¬cube
+		}
+		rs.enc.S.AddClause(cl...)
+	}
+	return rs, nil
+}
+
+// cubeFromModel extracts the full current-state cube of the last model.
+func (rs *relSolver) cubeFromModel() pdrCube {
+	cube := make(pdrCube, len(rs.cur))
+	for i, l := range rs.cur {
+		cube[i] = stateLit{bit: i, val: rs.enc.S.ModelValue(l)}
+	}
+	return cube
+}
+
+// assumeNext returns assumptions pinning the cube in the next frame.
+func (rs *relSolver) assumeNext(c pdrCube) []sat.Lit {
+	out := make([]sat.Lit, len(c))
+	for i, sl := range c {
+		out[i] = rs.next[sl.bit].XorSign(!sl.val)
+	}
+	return out
+}
+
+// addBlocked records ¬cube into frames 1..level.
+func (p *pdr) addBlocked(c pdrCube, level int) {
+	for i := 1; i <= level; i++ {
+		p.frames[i] = append(p.frames[i], c)
+	}
+}
+
+// satisfiesInit reports whether the reset state satisfies the cube.
+func (p *pdr) satisfiesInit(c pdrCube) bool {
+	for _, sl := range c {
+		if p.init[sl.bit] != sl.val {
+			return false
+		}
+	}
+	return true
+}
+
+// generalize shrinks a blocked cube using the UNSAT core of the relative
+// induction query, keeping it disjoint from the initial state.
+func (p *pdr) generalize(c pdrCube, core []sat.Lit, rs *relSolver) pdrCube {
+	inCore := make(map[sat.Lit]bool, len(core))
+	for _, l := range core {
+		inCore[l] = true
+	}
+	var out pdrCube
+	for _, sl := range c {
+		if inCore[rs.next[sl.bit].XorSign(!sl.val)] {
+			out = append(out, sl)
+		}
+	}
+	if len(out) == 0 {
+		return c
+	}
+	if p.satisfiesInit(out) {
+		// Re-add a literal that distinguishes the cube from reset.
+		for _, sl := range c {
+			if p.init[sl.bit] != sl.val {
+				out = append(out, sl)
+				break
+			}
+		}
+		if p.satisfiesInit(out) {
+			return c // defensive: keep the full cube
+		}
+	}
+	return out
+}
+
+// blockCube recursively removes a proof obligation: the cube must become
+// unreachable at the given frame. Returns false when the recursion reaches
+// frame 0 (a real counterexample).
+func (p *pdr) blockCube(c pdrCube, level int) (bool, error) {
+	if level == 0 {
+		return false, nil
+	}
+	for {
+		rs, err := p.solverFor(level - 1)
+		if err != nil {
+			return false, err
+		}
+		// Query: F_{level-1} ∧ ¬c ∧ T ∧ c'. The ¬c clause is activated
+		// per query via a fresh selector.
+		act := sat.PosLit(rs.enc.S.NewVar())
+		cl := []sat.Lit{act.Not()}
+		for _, sl := range c {
+			cl = append(cl, rs.cur[sl.bit].XorSign(sl.val))
+		}
+		rs.enc.S.AddClause(cl...)
+		assumptions := append([]sat.Lit{act}, rs.assumeNext(c)...)
+		st, core := rs.enc.S.SolveWithCore(assumptions)
+		switch st {
+		case sat.Unknown:
+			return false, fmt.Errorf("mc: PDR solver gave up at frame %d", level)
+		case sat.Unsat:
+			g := p.generalize(c, core, rs)
+			p.addBlocked(g, level)
+			return true, nil
+		}
+		// A predecessor inside F_{level-1} reaches c: block it first.
+		pred := rs.cubeFromModel()
+		ok, err := p.blockCube(pred, level-1)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+}
+
+// PDR decides reachability of a 1-bit bad wire with the IC3/PDR algorithm,
+// up to maxFrames major frames. It returns Proved with the inductive
+// clause set, a counterexample trace, or an "undecided within budget"
+// error.
+func PDR(c *circuit.Circuit, bad string, maxFrames int) (*PDRResult, error) {
+	return PDRUnder(c, bad, maxFrames, nil)
+}
+
+// PDRUnder is PDR with environment constraints assumed at every step.
+func PDRUnder(c *circuit.Circuit, bad string, maxFrames int, constraints []string) (*PDRResult, error) {
+	p, err := newPDR(c, bad, maxFrames, constraints)
+	if err != nil {
+		return nil, err
+	}
+	// Frame 0 is the initial state; bad at reset is a 0-step cex.
+	sim := circuit.NewSim(c)
+	if err := sim.SetInputs(nil); err != nil {
+		return nil, err
+	}
+	// The bad wire may depend on inputs; check via BMC depth 0 for
+	// uniformity.
+	if cex, err := BMCUnder(c, bad, 0, constraints); err != nil {
+		return nil, err
+	} else if cex != nil {
+		return &PDRResult{Cex: cex}, nil
+	}
+
+	p.frames = [][]pdrCube{nil, nil} // F_0 (init, implicit) and F_1
+	for k := 1; k <= maxFrames; k++ {
+		// Block all bad states reachable from F_k.
+		for {
+			rs, err := p.solverFor(k)
+			if err != nil {
+				return nil, err
+			}
+			st := rs.enc.S.Solve(rs.badLit)
+			if st == sat.Unknown {
+				return nil, fmt.Errorf("mc: PDR solver gave up at frame %d", k)
+			}
+			if st == sat.Unsat {
+				break
+			}
+			cube := rs.cubeFromModel()
+			ok, err := p.blockCube(cube, k)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				// Real counterexample of depth ≤ k; extract via BMC.
+				cex, err := BMCUnder(c, bad, k, constraints)
+				if err != nil {
+					return nil, err
+				}
+				if cex == nil {
+					return nil, fmt.Errorf("mc: PDR found a cex BMC cannot reproduce within %d steps", k)
+				}
+				return &PDRResult{Cex: cex, Frames: k}, nil
+			}
+		}
+		// Propagate blocked cubes forward and check for a fixpoint.
+		p.frames = append(p.frames, nil)
+		for i := 1; i <= k; i++ {
+			rs, err := p.solverFor(i)
+			if err != nil {
+				return nil, err
+			}
+			for _, cube := range p.frames[i] {
+				if containsCube(p.frames[i+1], cube) {
+					continue
+				}
+				st := rs.enc.S.Solve(rs.assumeNext(cube)...)
+				if st == sat.Unknown {
+					return nil, fmt.Errorf("mc: PDR propagation solver gave up")
+				}
+				if st == sat.Unsat {
+					p.frames[i+1] = append(p.frames[i+1], cube)
+				}
+			}
+			if len(p.frames[i+1]) == len(p.frames[i]) {
+				inv := make([][]stateLit, len(p.frames[i]))
+				for j, cb := range p.frames[i] {
+					inv[j] = append([]stateLit(nil), cb...)
+				}
+				return &PDRResult{Proved: true, Frames: k, Invariant: toInvariant(p, inv)}, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("mc: PDR undecided within %d frames", maxFrames)
+}
+
+// BlockedCube is one clause of a PDR invariant in readable form: the
+// invariant asserts that the listed register bits never simultaneously
+// take the listed values.
+type BlockedCube []struct {
+	Reg string
+	Bit int
+	Val bool
+}
+
+func toInvariant(p *pdr, cubes [][]stateLit) []BlockedCube {
+	out := make([]BlockedCube, len(cubes))
+	for i, cb := range cubes {
+		bc := make(BlockedCube, len(cb))
+		for j, sl := range cb {
+			bc[j].Reg = p.regOf[sl.bit]
+			bc[j].Bit = p.bitOf[sl.bit]
+			bc[j].Val = sl.val
+		}
+		out[i] = bc
+	}
+	return out
+}
+
+func containsCube(set []pdrCube, c pdrCube) bool {
+	for _, other := range set {
+		if len(other) != len(c) {
+			continue
+		}
+		same := true
+		for i := range c {
+			if other[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,204 @@
+package mc
+
+import (
+	"math/rand"
+	"testing"
+
+	"hhoudini/internal/circuit"
+)
+
+func TestPDRFindsCounterexample(t *testing.T) {
+	c := counter(t, 4, 6, false)
+	res, err := PDR(c, "bad", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proved {
+		t.Fatal("reachable bad state must not be proved safe")
+	}
+	if res.Cex == nil || res.Cex.Len() != 6 {
+		t.Fatalf("cex = %+v", res.Cex)
+	}
+	if v, err := Replay(c, res.Cex, "bad"); err != nil || v != 1 {
+		t.Fatalf("replay: v=%d err=%v", v, err)
+	}
+}
+
+func TestPDRProvesWrapCounter(t *testing.T) {
+	// cnt wraps at 9; cnt==12 unreachable. k-induction needs k≈7 here;
+	// PDR must prove it by learning blocking clauses.
+	b := circuit.NewBuilder()
+	cnt := b.Register("cnt", 4, 0)
+	wrap := b.EqConst(cnt, 9)
+	b.SetNext("cnt", b.MuxW(wrap, b.Const(0, 4), b.Inc(cnt)))
+	b.Name("bad", circuit.Word{b.EqConst(cnt, 12)})
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PDR(c, "bad", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proved {
+		t.Fatalf("expected proof, got %+v", res)
+	}
+	if len(res.Invariant) == 0 {
+		t.Fatal("proof must carry the inductive clause set")
+	}
+	t.Logf("proved with %d blocked cubes in %d frames", len(res.Invariant), res.Frames)
+}
+
+func TestPDRBadAtReset(t *testing.T) {
+	b := circuit.NewBuilder()
+	r := b.Register("r", 1, 1)
+	b.SetNext("r", r)
+	b.Name("bad", r)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PDR(c, "bad", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proved || res.Cex == nil || res.Cex.Len() != 0 {
+		t.Fatalf("expected 0-step cex, got %+v", res)
+	}
+}
+
+func TestPDRWithInputs(t *testing.T) {
+	// Gated counter: bad reachable only if the environment raises en.
+	c := counter(t, 4, 5, true)
+	res, err := PDR(c, "bad", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proved || res.Cex == nil {
+		t.Fatalf("expected cex, got %+v", res)
+	}
+	if v, err := Replay(c, res.Cex, "bad"); err != nil || v != 1 {
+		t.Fatalf("replay: v=%d err=%v", v, err)
+	}
+}
+
+func TestPDRProvesInvariantHoldProperty(t *testing.T) {
+	// A register that can only shuffle among {0,3,5} can never be 4.
+	b := circuit.NewBuilder()
+	sel := b.Input("sel", 2)
+	r := b.Register("r", 3, 0)
+	next := b.Const(0, 3)
+	next = b.MuxW(b.EqConst(sel, 1), b.Const(3, 3), next)
+	next = b.MuxW(b.EqConst(sel, 2), b.Const(5, 3), next)
+	b.SetNext("r", next)
+	b.Name("bad", circuit.Word{b.EqConst(r, 4)})
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PDR(c, "bad", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proved {
+		t.Fatalf("expected proof, got %+v", res)
+	}
+}
+
+// TestPDRAgreesWithBMCAndKInduction cross-checks the three engines on
+// random gated counters.
+func TestPDRAgreesWithBMCAndKInduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 12; iter++ {
+		width := 3
+		target := uint64(rng.Intn(1 << width))
+		wrapAt := uint64(1 + rng.Intn(1<<width-1))
+		b := circuit.NewBuilder()
+		cnt := b.Register("cnt", width, 0)
+		wrap := b.EqConst(cnt, wrapAt)
+		b.SetNext("cnt", b.MuxW(wrap, b.Const(0, width), b.Inc(cnt)))
+		b.Name("bad", circuit.Word{b.EqConst(cnt, target)})
+		c, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reachable := target <= wrapAt // counts 0..wrapAt then wraps
+
+		res, err := PDR(c, "bad", 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Proved == reachable {
+			t.Fatalf("iter %d (target=%d wrap=%d): PDR says proved=%v, reachability=%v",
+				iter, target, wrapAt, res.Proved, reachable)
+		}
+		cex, err := BMC(c, "bad", 1<<width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (cex != nil) != reachable {
+			t.Fatalf("iter %d: BMC disagrees with ground truth", iter)
+		}
+		if reachable && res.Cex.Len() != cex.Len() {
+			t.Fatalf("iter %d: PDR cex depth %d vs BMC %d", iter, res.Cex.Len(), cex.Len())
+		}
+	}
+}
+
+func TestPDRBudgetExhaustion(t *testing.T) {
+	// A 6-bit counter wrapping at 50 with target 60: needs ~tens of
+	// frames; a budget of 2 must report "undecided".
+	b := circuit.NewBuilder()
+	cnt := b.Register("cnt", 6, 0)
+	wrap := b.EqConst(cnt, 50)
+	b.SetNext("cnt", b.MuxW(wrap, b.Const(0, 6), b.Inc(cnt)))
+	b.Name("bad", circuit.Word{b.EqConst(cnt, 60)})
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PDR(c, "bad", 2); err == nil {
+		t.Fatal("expected an undecided-within-budget error")
+	}
+}
+
+// TestPDRUnderConstraints: with the enable input constrained low, the
+// gated counter can never move, so the bad state becomes provably
+// unreachable; unconstrained it is reachable.
+func TestPDRUnderConstraints(t *testing.T) {
+	b := circuit.NewBuilder()
+	en := b.Input("en", 1)
+	cnt := b.Register("cnt", 3, 0)
+	b.SetNext("cnt", b.MuxW(en[0], b.Inc(cnt), cnt))
+	b.Name("bad", circuit.Word{b.EqConst(cnt, 2)})
+	b.Name("en_low", circuit.Word{en[0].Not()})
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PDR(c, "bad", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proved || res.Cex == nil {
+		t.Fatalf("unconstrained: expected cex, got %+v", res)
+	}
+	res2, err := PDRUnder(c, "bad", 16, []string{"en_low"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Proved {
+		t.Fatalf("constrained: expected proof, got %+v", res2)
+	}
+	// Cross-check with constrained BMC and k-induction.
+	if tr, err := BMCUnder(c, "bad", 16, []string{"en_low"}); err != nil || tr != nil {
+		t.Fatalf("constrained BMC: tr=%v err=%v", tr, err)
+	}
+	proved, _, err := KInductionUnder(c, "bad", 2, []string{"en_low"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proved {
+		t.Fatal("constrained 2-induction should prove")
+	}
+}

@@ -1,0 +1,60 @@
+package sat
+
+// SolveWithCore solves under the given assumptions and, when Unsat, returns
+// a copy of the failing core.
+func (s *Solver) SolveWithCore(assumptions []Lit) (Status, []Lit) {
+	st := s.Solve(assumptions...)
+	if st != Unsat {
+		return st, nil
+	}
+	return st, append([]Lit(nil), s.core...)
+}
+
+// MinimizeCore shrinks an UNSAT core to a locally minimal one by
+// deletion-based minimization: each literal is tentatively dropped and the
+// remainder re-solved; literals whose removal keeps the formula Unsat are
+// discarded. The result mirrors cvc5's minimal-unsat-cores option used by
+// the paper's abduction oracle (§3.2.3): no single literal can be removed
+// while staying Unsat, though the core is not guaranteed globally minimum.
+//
+// The input core must be an Unsat core for the solver's current clause
+// database. The solver's clause database is reused incrementally, so learnt
+// clauses from earlier calls accelerate later ones.
+func (s *Solver) MinimizeCore(core []Lit) []Lit {
+	cur := append([]Lit(nil), core...)
+	for i := 0; i < len(cur); {
+		trial := make([]Lit, 0, len(cur)-1)
+		trial = append(trial, cur[:i]...)
+		trial = append(trial, cur[i+1:]...)
+		st := s.Solve(trial...)
+		if st == Unsat {
+			// The dropped literal is unnecessary. Prefer the (possibly much
+			// smaller) core reported by the solver for the trial set.
+			next := append([]Lit(nil), s.core...)
+			if len(next) > 0 && len(next) <= len(trial) && subsetOf(next, trial) {
+				cur = next
+				i = 0
+				continue
+			}
+			cur = trial
+			// Stay at index i: a new literal shifted into this slot.
+			continue
+		}
+		// Removal made it Sat (or Unknown): the literal is required.
+		i++
+	}
+	return cur
+}
+
+func subsetOf(sub, super []Lit) bool {
+	set := make(map[Lit]bool, len(super))
+	for _, l := range super {
+		set[l] = true
+	}
+	for _, l := range sub {
+		if !set[l] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,112 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format into a fresh solver.
+// Comments and the problem line are tolerated but not required.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	return ParseDIMACSLimit(r, 0)
+}
+
+// ParseDIMACSLimit is ParseDIMACS with an upper bound on the variable
+// count (0 = unlimited); formulas mentioning larger variables are rejected
+// rather than allocated. Useful when reading untrusted input.
+func ParseDIMACSLimit(r io.Reader, maxVars int) (*Solver, error) {
+	s := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var clause []Lit
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") || strings.HasPrefix(text, "p") {
+			continue
+		}
+		for _, f := range strings.Fields(text) {
+			n, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("dimacs line %d: bad token %q", line, f)
+			}
+			if n == 0 {
+				s.AddClause(clause...)
+				clause = clause[:0]
+				continue
+			}
+			if maxVars > 0 && abs(n) > maxVars {
+				return nil, fmt.Errorf("dimacs line %d: variable %d exceeds limit %d", line, abs(n), maxVars)
+			}
+			v := Var(abs(n) - 1)
+			clause = append(clause, MkLit(v, n < 0))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(clause) > 0 {
+		s.AddClause(clause...)
+	}
+	return s, nil
+}
+
+// WriteDIMACS writes the solver's problem clauses (not learnt clauses) in
+// DIMACS format.
+func (s *Solver) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	n := 0
+	for i := range s.clauses {
+		if !s.clauses[i].learnt && !s.clauses[i].deleted {
+			n++
+		}
+	}
+	// Level-0 facts live on the trail rather than in the clause DB; emit
+	// them as unit clauses so the formula round-trips faithfully.
+	units := 0
+	if s.decisionLevel() == 0 {
+		units = len(s.trail)
+	} else {
+		units = int(s.trailLim[0])
+	}
+	if !s.ok {
+		// Represent a known-contradictory database as (x1) ∧ (¬x1).
+		fmt.Fprintf(bw, "p cnf %d 2\n1 0\n-1 0\n", max(1, s.NumVars()))
+		return bw.Flush()
+	}
+	fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), n+units)
+	for i := 0; i < units; i++ {
+		l := s.trail[i]
+		v := int(l.Var()) + 1
+		if l.Neg() {
+			v = -v
+		}
+		fmt.Fprintf(bw, "%d 0\n", v)
+	}
+	for i := range s.clauses {
+		c := &s.clauses[i]
+		if c.learnt || c.deleted {
+			continue
+		}
+		for _, l := range c.lits {
+			v := int(l.Var()) + 1
+			if l.Neg() {
+				v = -v
+			}
+			fmt.Fprintf(bw, "%d ", v)
+		}
+		fmt.Fprintln(bw, 0)
+	}
+	return bw.Flush()
+}
+
+func abs(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
+}

@@ -1,0 +1,42 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS exercises the DIMACS reader on arbitrary input: no
+// panics, and accepted formulas must solve without hanging (tiny conflict
+// budget) and round-trip through WriteDIMACS.
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("p cnf 2 2\n1 -2 0\n2 0\n")
+	f.Add("1 0\n-1 0\n")
+	f.Add("c comment\n\n1 2 3\n")
+	f.Add("junk")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		s, err := ParseDIMACSLimit(strings.NewReader(input), 256)
+		if err != nil {
+			return
+		}
+		s.MaxConflicts = 200
+		st := s.Solve()
+		if st == Sat {
+			// The model must satisfy every problem clause.
+			var sb strings.Builder
+			if err := s.WriteDIMACS(&sb); err != nil {
+				t.Fatalf("write failed: %v", err)
+			}
+			s2, err := ParseDIMACS(strings.NewReader(sb.String()))
+			if err != nil {
+				t.Fatalf("round trip failed: %v", err)
+			}
+			s2.MaxConflicts = 200
+			if st2 := s2.Solve(); st2 == Unsat {
+				t.Fatal("round trip flipped SAT to UNSAT")
+			}
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package sat
+
+// varHeap is a binary max-heap of variables ordered by activity, with an
+// index map for decrease/increase-key. It backs the VSIDS decision order.
+type varHeap struct {
+	heap    []Var   // heap of variables
+	indices []int32 // variable -> position in heap, or -1
+	act     *[]float64
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{act: act}
+}
+
+func (h *varHeap) less(x, y Var) bool { return (*h.act)[x] > (*h.act)[y] }
+
+func (h *varHeap) grow(n int) {
+	for len(h.indices) < n {
+		h.indices = append(h.indices, -1)
+	}
+}
+
+func (h *varHeap) inHeap(v Var) bool {
+	return int(v) < len(h.indices) && h.indices[v] >= 0
+}
+
+func (h *varHeap) percolateUp(i int32) {
+	x := h.heap[i]
+	p := (i - 1) >> 1
+	for i != 0 && h.less(x, h.heap[p]) {
+		h.heap[i] = h.heap[p]
+		h.indices[h.heap[p]] = i
+		i = p
+		p = (i - 1) >> 1
+	}
+	h.heap[i] = x
+	h.indices[x] = i
+}
+
+func (h *varHeap) percolateDown(i int32) {
+	x := h.heap[i]
+	n := int32(len(h.heap))
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && h.less(h.heap[r], h.heap[l]) {
+			child = r
+		}
+		if !h.less(h.heap[child], x) {
+			break
+		}
+		h.heap[i] = h.heap[child]
+		h.indices[h.heap[i]] = i
+		i = child
+	}
+	h.heap[i] = x
+	h.indices[x] = i
+}
+
+func (h *varHeap) insert(v Var) {
+	h.grow(int(v) + 1)
+	if h.inHeap(v) {
+		return
+	}
+	h.indices[v] = int32(len(h.heap))
+	h.heap = append(h.heap, v)
+	h.percolateUp(h.indices[v])
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) removeMin() Var {
+	x := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap[0] = last
+	h.indices[last] = 0
+	h.indices[x] = -1
+	h.heap = h.heap[:len(h.heap)-1]
+	if len(h.heap) > 1 {
+		h.percolateDown(0)
+	}
+	return x
+}
+
+// decreased restores heap order after v's activity increased
+// (a higher activity means v should move toward the root).
+func (h *varHeap) decreased(v Var) {
+	if h.inHeap(v) {
+		h.percolateUp(h.indices[v])
+	}
+}

@@ -1,0 +1,714 @@
+package sat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stats aggregates solver counters across Solve calls.
+type Stats struct {
+	Solves       int64
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learnt       int64
+	Deleted      int64
+}
+
+type clauseRef int32
+
+const crUndef clauseRef = -1
+
+type clause struct {
+	lits    []Lit
+	act     float32
+	learnt  bool
+	deleted bool
+}
+
+type watcher struct {
+	cref    clauseRef
+	blocker Lit
+}
+
+// Solver is an incremental CDCL SAT solver. The zero value is not usable;
+// construct with New. A Solver is not safe for concurrent use; parallel
+// callers each build their own Solver (queries in this repository are
+// independent, mirroring the paper's per-task solver processes).
+type Solver struct {
+	clauses  []clause
+	learnts  []clauseRef
+	watches  [][]watcher // indexed by Lit
+	assigns  []lbool     // indexed by Var
+	polarity []bool      // saved phase per Var; true = assign false next time
+	decision []bool      // per Var: eligible as a decision variable
+	level    []int32
+	reason   []clauseRef
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	claInc   float64
+	order    *varHeap
+
+	seen         []byte
+	analyzeStack []Lit
+	toClear      []Lit
+
+	ok          bool // false once the clause DB is UNSAT at level 0
+	model       []lbool
+	core        []Lit
+	assumptions []Lit
+
+	maxLearnts     float64
+	learntAdjustCt int64
+
+	// MaxConflicts bounds the search effort per Solve call; <0 means
+	// unlimited. When the budget is exhausted Solve returns Unknown.
+	MaxConflicts int64
+
+	Stats Stats
+}
+
+// New returns an empty solver with no variables and no clauses.
+func New() *Solver {
+	s := &Solver{
+		ok:           true,
+		varInc:       1.0,
+		claInc:       1.0,
+		MaxConflicts: -1,
+	}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+const (
+	varDecay        = 0.95
+	claDecay        = 0.999
+	restartFirst    = 100
+	learntFactor    = 1.0 / 3.0
+	learntIncFactor = 1.1
+	adjustStart     = 100
+	adjustInc       = 1.5
+)
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NewVar allocates a fresh variable.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, lUndef)
+	s.polarity = append(s.polarity, true)
+	s.decision = append(s.decision, true)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, crUndef)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+// ensureVar allocates variables up to and including v.
+func (s *Solver) ensureVar(v Var) {
+	for Var(len(s.assigns)) <= v {
+		s.NewVar()
+	}
+}
+
+func (s *Solver) valueVar(v Var) lbool { return s.assigns[v] }
+
+func (s *Solver) valueLit(l Lit) lbool { return s.assigns[l.Var()].xorSign(l.Neg()) }
+
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+// AddClause adds a clause to the solver. It returns false if the clause
+// database became trivially unsatisfiable (at decision level 0). Literals
+// over unallocated variables allocate them implicitly. Must be called at
+// decision level 0 (i.e. not from within a Solve callback).
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause called above decision level 0")
+	}
+	// Normalize: sort, remove duplicates, detect tautologies, drop literals
+	// already false at level 0, and succeed early if already satisfied.
+	ls := make([]Lit, len(lits))
+	copy(ls, lits)
+	for _, l := range ls {
+		if l < 0 {
+			panic("sat: undefined literal in clause")
+		}
+		s.ensureVar(l.Var())
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = LitUndef
+	for _, l := range ls {
+		switch {
+		case s.valueLit(l) == lTrue || l == prev.Not():
+			return true // satisfied or tautology
+		case s.valueLit(l) == lFalse || l == prev:
+			continue // falsified at level 0 or duplicate
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], crUndef)
+		s.ok = s.propagate() == crUndef
+		return s.ok
+	}
+	cr := s.allocClause(out, false)
+	s.attachClause(cr)
+	return true
+}
+
+func (s *Solver) allocClause(lits []Lit, learnt bool) clauseRef {
+	cr := clauseRef(len(s.clauses))
+	c := clause{lits: append([]Lit(nil), lits...), learnt: learnt}
+	s.clauses = append(s.clauses, c)
+	if learnt {
+		s.learnts = append(s.learnts, cr)
+		s.Stats.Learnt++
+	}
+	return cr
+}
+
+func (s *Solver) attachClause(cr clauseRef) {
+	c := &s.clauses[cr]
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{cr, l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{cr, l0})
+}
+
+func (s *Solver) detachClause(cr clauseRef) {
+	c := &s.clauses[cr]
+	s.removeWatch(c.lits[0].Not(), cr)
+	s.removeWatch(c.lits[1].Not(), cr)
+}
+
+func (s *Solver) removeWatch(l Lit, cr clauseRef) {
+	ws := s.watches[l]
+	for i := range ws {
+		if ws[i].cref == cr {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from clauseRef) {
+	v := l.Var()
+	s.assigns[v] = boolToLbool(!l.Neg())
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation over the two-watched-literal scheme.
+// It returns the conflicting clause reference, or crUndef.
+func (s *Solver) propagate() clauseRef {
+	confl := crUndef
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[p]
+		i, j := 0, 0
+	nextWatcher:
+		for i < len(ws) {
+			w := ws[i]
+			// Blocker check: clause already satisfied.
+			if s.valueLit(w.blocker) == lTrue {
+				ws[j] = w
+				i++
+				j++
+				continue
+			}
+			c := &s.clauses[w.cref]
+			lits := c.lits
+			// Make sure the false literal is lits[1].
+			if lits[0] == p.Not() {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			i++
+			first := lits[0]
+			if first != w.blocker && s.valueLit(first) == lTrue {
+				ws[j] = watcher{w.cref, first}
+				j++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(lits); k++ {
+				if s.valueLit(lits[k]) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					nl := lits[1].Not()
+					s.watches[nl] = append(s.watches[nl], watcher{w.cref, first})
+					continue nextWatcher
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watcher{w.cref, first}
+			j++
+			if s.valueLit(first) == lFalse {
+				confl = w.cref
+				s.qhead = len(s.trail)
+				// Copy remaining watchers back.
+				for i < len(ws) {
+					ws[j] = ws[i]
+					i++
+					j++
+				}
+				break
+			}
+			s.uncheckedEnqueue(first, w.cref)
+		}
+		s.watches[p] = ws[:j]
+		if confl != crUndef {
+			break
+		}
+	}
+	return confl
+}
+
+// cancelUntil backtracks to the given decision level.
+func (s *Solver) cancelUntil(lvl int32) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	end := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= int(end); i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.assigns[v] = lUndef
+		s.polarity[v] = l.Neg()
+		s.reason[v] = crUndef
+		if !s.order.inHeap(v) && s.decision[v] {
+			s.order.insert(v)
+		}
+	}
+	s.trail = s.trail[:end]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) newDecisionLevel() { s.trailLim = append(s.trailLim, int32(len(s.trail))) }
+
+func (s *Solver) varBumpActivity(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.decreased(v)
+}
+
+func (s *Solver) claBumpActivity(cr clauseRef) {
+	c := &s.clauses[cr]
+	c.act += float32(s.claInc)
+	if c.act > 1e20 {
+		for _, lr := range s.learnts {
+			s.clauses[lr].act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt clause
+// (asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl clauseRef) ([]Lit, int32) {
+	learnt := []Lit{LitUndef} // slot 0 reserved for the asserting literal
+	pathC := 0
+	p := LitUndef
+	idx := len(s.trail) - 1
+
+	for {
+		c := &s.clauses[confl]
+		if c.learnt {
+			s.claBumpActivity(confl)
+		}
+		start := 0
+		if p != LitUndef {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] == 0 && s.level[v] > 0 {
+				s.varBumpActivity(v)
+				s.seen[v] = 1
+				if s.level[v] >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Next literal to resolve on.
+		for s.seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		confl = s.reason[p.Var()]
+		s.seen[p.Var()] = 0
+		pathC--
+		if pathC == 0 {
+			break
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Conflict-clause minimization: drop literals implied by the rest.
+	s.toClear = s.toClear[:0]
+	for _, l := range learnt {
+		s.toClear = append(s.toClear, l)
+		s.seen[l.Var()] = 1
+	}
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		l := learnt[i]
+		if s.reason[l.Var()] == crUndef || !s.litRedundant(l) {
+			learnt[j] = l
+			j++
+		}
+	}
+	learnt = learnt[:j]
+	for _, l := range s.toClear {
+		s.seen[l.Var()] = 0
+	}
+
+	// Find the backjump level: the second-highest level in the clause.
+	btLevel := int32(0)
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].Var()]
+	}
+	return learnt, btLevel
+}
+
+// litRedundant checks whether l is implied by the other literals currently
+// marked in seen (standard recursive minimization, iterative form).
+func (s *Solver) litRedundant(l Lit) bool {
+	const (
+		seenSource  = 1
+		seenRemoved = 2
+		seenFailed  = 3
+	)
+	s.analyzeStack = s.analyzeStack[:0]
+	s.analyzeStack = append(s.analyzeStack, l)
+	top := len(s.toClear)
+	for len(s.analyzeStack) > 0 {
+		p := s.analyzeStack[len(s.analyzeStack)-1]
+		s.analyzeStack = s.analyzeStack[:len(s.analyzeStack)-1]
+		cr := s.reason[p.Var()]
+		if cr == crUndef {
+			// Shouldn't happen for stack entries, defensive.
+			return false
+		}
+		c := &s.clauses[cr]
+		for _, q := range c.lits[1:] {
+			v := q.Var()
+			if s.seen[v] != 0 || s.level[v] == 0 {
+				continue
+			}
+			if s.reason[v] == crUndef {
+				// Decision var not in the learnt set: l is not redundant.
+				for len(s.toClear) > top {
+					s.seen[s.toClear[len(s.toClear)-1].Var()] = 0
+					s.toClear = s.toClear[:len(s.toClear)-1]
+				}
+				return false
+			}
+			s.seen[v] = 1
+			s.toClear = append(s.toClear, q)
+			s.analyzeStack = append(s.analyzeStack, q)
+		}
+	}
+	return true
+}
+
+// analyzeFinal computes the subset of assumptions that imply the failure of
+// assumption p (whose complement is currently implied). The result is stored
+// in s.core, expressed as the failing assumption literals themselves.
+func (s *Solver) analyzeFinal(p Lit) {
+	s.core = s.core[:0]
+	s.core = append(s.core, p)
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[p.Var()] = 1
+	for i := len(s.trail) - 1; i >= int(s.trailLim[0]); i-- {
+		v := s.trail[i].Var()
+		if s.seen[v] == 0 {
+			continue
+		}
+		if s.reason[v] == crUndef {
+			// A decision above level 0 during the assumption phase is an
+			// assumption literal; it participates in the core as-is.
+			s.core = append(s.core, s.trail[i])
+		} else {
+			c := &s.clauses[s.reason[v]]
+			for _, q := range c.lits[1:] {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = 1
+				}
+			}
+		}
+		s.seen[v] = 0
+	}
+	s.seen[p.Var()] = 0
+}
+
+func (s *Solver) pickBranchLit() Lit {
+	for !s.order.empty() {
+		v := s.order.removeMin()
+		if s.assigns[v] == lUndef && s.decision[v] {
+			return MkLit(v, s.polarity[v])
+		}
+	}
+	return LitUndef
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(y float64, i int) float64 {
+	size, seq := 1, 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) >> 1
+		seq--
+		i = i % size
+	}
+	return math.Pow(y, float64(seq))
+}
+
+func (s *Solver) reduceDB() {
+	// Sort learnt clauses by activity, remove the lower half (except
+	// binary/locked clauses).
+	sort.Slice(s.learnts, func(i, j int) bool {
+		ci, cj := &s.clauses[s.learnts[i]], &s.clauses[s.learnts[j]]
+		if len(ci.lits) > 2 && len(cj.lits) == 2 {
+			return true
+		}
+		if len(ci.lits) == 2 && len(cj.lits) > 2 {
+			return false
+		}
+		return ci.act < cj.act
+	})
+	extraLim := s.claInc / float64(len(s.learnts)+1)
+	j := 0
+	for i, cr := range s.learnts {
+		c := &s.clauses[cr]
+		if len(c.lits) > 2 && !s.locked(cr) &&
+			(i < len(s.learnts)/2 || float64(c.act) < extraLim) {
+			s.detachClause(cr)
+			c.deleted = true
+			c.lits = nil
+			s.Stats.Deleted++
+		} else {
+			s.learnts[j] = cr
+			j++
+		}
+	}
+	s.learnts = s.learnts[:j]
+}
+
+func (s *Solver) locked(cr clauseRef) bool {
+	c := &s.clauses[cr]
+	l0 := c.lits[0]
+	return s.valueLit(l0) == lTrue && s.reason[l0.Var()] == cr
+}
+
+// search runs CDCL until a model is found, the formula is refuted, the
+// restart budget (nofConflicts) is exhausted, or the global conflict budget
+// runs out.
+func (s *Solver) search(nofConflicts int64) Status {
+	conflictC := int64(0)
+	for {
+		confl := s.propagate()
+		if confl != crUndef {
+			s.Stats.Conflicts++
+			conflictC++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				s.core = s.core[:0]
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], crUndef)
+			} else {
+				cr := s.allocClause(learnt, true)
+				s.attachClause(cr)
+				s.claBumpActivity(cr)
+				s.uncheckedEnqueue(learnt[0], cr)
+			}
+			s.varInc /= varDecay
+			s.claInc /= claDecay
+
+			s.learntAdjustCt--
+			if s.learntAdjustCt <= 0 {
+				s.learntAdjustCt = int64(float64(s.learntAdjustCt+adjustStart) * adjustInc)
+				if s.learntAdjustCt < adjustStart {
+					s.learntAdjustCt = adjustStart
+				}
+				s.maxLearnts *= learntIncFactor
+			}
+			continue
+		}
+
+		// No conflict.
+		if nofConflicts >= 0 && conflictC >= nofConflicts {
+			s.cancelUntil(int32(len(s.assumptions)))
+			return Unknown
+		}
+		if s.MaxConflicts >= 0 && s.Stats.Conflicts >= s.MaxConflicts {
+			return Unknown
+		}
+		if float64(len(s.learnts)) >= s.maxLearnts+float64(len(s.trail)) {
+			s.reduceDB()
+		}
+
+		// Assumption handling: decide pending assumptions first.
+		next := LitUndef
+		for int(s.decisionLevel()) < len(s.assumptions) {
+			p := s.assumptions[s.decisionLevel()]
+			switch s.valueLit(p) {
+			case lTrue:
+				s.newDecisionLevel() // already satisfied; dummy level
+			case lFalse:
+				s.analyzeFinal(p)
+				return Unsat
+			default:
+				next = p
+			}
+			if next != LitUndef {
+				break
+			}
+		}
+		if next == LitUndef {
+			next = s.pickBranchLit()
+			if next == LitUndef {
+				// All variables assigned: model found.
+				return Sat
+			}
+			s.Stats.Decisions++
+		}
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(next, crUndef)
+	}
+}
+
+// Solve determines satisfiability of the clause database under the given
+// assumption literals. On Sat, Model/ModelValue are valid; on Unsat, Core
+// returns the failing subset of assumptions.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	s.Stats.Solves++
+	s.model = nil
+	s.core = s.core[:0]
+	if !s.ok {
+		return Unsat
+	}
+	for _, a := range assumptions {
+		s.ensureVar(a.Var())
+	}
+	s.assumptions = append(s.assumptions[:0], assumptions...)
+	s.maxLearnts = float64(s.numProblemClauses()) * learntFactor
+	if s.maxLearnts < 1000 {
+		s.maxLearnts = 1000
+	}
+	s.learntAdjustCt = adjustStart
+
+	status := Unknown
+	for restart := 0; status == Unknown; restart++ {
+		budget := int64(luby(2.0, restart) * restartFirst)
+		status = s.search(budget)
+		s.Stats.Restarts++
+		if s.MaxConflicts >= 0 && s.Stats.Conflicts >= s.MaxConflicts && status == Unknown {
+			break
+		}
+	}
+	if status == Sat {
+		s.model = make([]lbool, len(s.assigns))
+		copy(s.model, s.assigns)
+	}
+	s.cancelUntil(0)
+	s.assumptions = s.assumptions[:0]
+	return status
+}
+
+func (s *Solver) numProblemClauses() int {
+	return len(s.clauses) - len(s.learnts)
+}
+
+// ModelValue returns the value of l in the most recent satisfying model.
+// It panics if the last Solve did not return Sat.
+func (s *Solver) ModelValue(l Lit) bool {
+	if s.model == nil {
+		panic("sat: ModelValue without a model")
+	}
+	v := s.model[l.Var()].xorSign(l.Neg())
+	return v == lTrue // unassigned defaults to false
+}
+
+// Core returns the subset of the assumption literals under which the last
+// Solve call was Unsat. The returned literals are assumption literals
+// (not negated). An empty core means the clause database is Unsat on its
+// own. The slice is owned by the solver; callers must copy to retain it.
+func (s *Solver) Core() []Lit {
+	return s.core
+}
+
+// SetDecisionVar includes or excludes v from branching decisions.
+// Non-decision variables can still be assigned by propagation.
+func (s *Solver) SetDecisionVar(v Var, b bool) {
+	s.ensureVar(v)
+	s.decision[v] = b
+	if b && !s.order.inHeap(v) {
+		s.order.insert(v)
+	}
+}
+
+// Okay reports whether the clause database is still possibly satisfiable
+// (false once an unconditional contradiction was derived).
+func (s *Solver) Okay() bool { return s.ok }
+
+// NumClauses returns the number of live problem clauses plus learnt clauses.
+func (s *Solver) NumClauses() int {
+	n := 0
+	for i := range s.clauses {
+		if !s.clauses[i].deleted {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Solver) String() string {
+	return fmt.Sprintf("sat.Solver{vars: %d, clauses: %d, conflicts: %d}",
+		s.NumVars(), s.NumClauses(), s.Stats.Conflicts)
+}

@@ -1,0 +1,315 @@
+package veloct
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hhoudini/internal/circuit"
+	"hhoudini/internal/design"
+	"hhoudini/internal/miter"
+)
+
+// ExampleConfig controls positive example generation (§5.2).
+type ExampleConfig struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// RunsPerInstr is the number of paired executions per safe
+	// instruction, each with fresh differing secrets.
+	RunsPerInstr int
+	// CompositionRuns adds runs that issue a back-to-back burst of random
+	// safe instructions (with incidental register dependencies), filling
+	// the backend structures. Richer examples invalidate spurious
+	// constant predicates early, which is what keeps backtracking low
+	// (§3.2.1: "with a robust set of examples, a majority of the
+	// backtracking can be eliminated").
+	CompositionRuns int
+	// CompositionLen is the burst length (default 8).
+	CompositionLen int
+	// DirtyPreamble executes the target's unsafe start-up code before the
+	// instruction under analysis (the situation §5.2.1's masking cleans
+	// up). Only meaningful for targets that define one.
+	DirtyPreamble bool
+	// DisableMasking skips example masking even when the target declares
+	// masking annotations — the masking ablation.
+	DisableMasking bool
+}
+
+// DefaultExampleConfig mirrors the paper's setup.
+func DefaultExampleConfig() ExampleConfig {
+	return ExampleConfig{
+		Seed:            1,
+		RunsPerInstr:    3,
+		CompositionRuns: 8,
+		CompositionLen:  32,
+		DirtyPreamble:   true,
+	}
+}
+
+// ErrUnsafe reports that example generation itself witnessed a property
+// violation: the instruction under analysis produced distinguishable
+// traces, so the proposed set cannot be safe.
+type ErrUnsafe struct {
+	Instr string
+	Cycle int
+}
+
+func (e ErrUnsafe) Error() string {
+	return fmt.Sprintf("veloct: instruction %q produced distinguishable traces at cycle %d", e.Instr, e.Cycle)
+}
+
+// exampleGen drives paired concrete executions on the product circuit.
+type exampleGen struct {
+	tgt  *design.Target
+	prod *miter.Product
+	cfg  ExampleConfig
+	rng  *rand.Rand
+
+	obsL, obsR []int // product register indices of observables
+	secretsL   []int // product indices of left-copy secrets
+	secretsR   []int
+	maskRules  []maskRule
+}
+
+type maskRule struct {
+	valid  int // product register index of the valid bit
+	fields []int
+	inits  []uint64
+}
+
+func newExampleGen(tgt *design.Target, prod *miter.Product, cfg ExampleConfig) (*exampleGen, error) {
+	g := &exampleGen{
+		tgt:  tgt,
+		prod: prod,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for _, obs := range tgt.Observable {
+		l, r, err := prod.RegPair(obs)
+		if err != nil {
+			return nil, err
+		}
+		g.obsL = append(g.obsL, l)
+		g.obsR = append(g.obsR, r)
+	}
+	for _, sec := range tgt.SecretRegs {
+		l, r, err := prod.RegPair(sec)
+		if err != nil {
+			return nil, err
+		}
+		g.secretsL = append(g.secretsL, l)
+		g.secretsR = append(g.secretsR, r)
+	}
+	if !cfg.DisableMasking {
+		for _, rule := range tgt.Masks {
+			// Masking applies independently per copy.
+			for _, side := range []func(string) string{miter.Left, miter.Right} {
+				mr := maskRule{valid: prod.Circuit.RegIndex(side(rule.ValidReg))}
+				if mr.valid < 0 {
+					return nil, fmt.Errorf("veloct: mask rule valid register %q missing", rule.ValidReg)
+				}
+				for _, f := range rule.Fields {
+					idx := prod.Circuit.RegIndex(side(f))
+					if idx < 0 {
+						return nil, fmt.Errorf("veloct: mask rule field %q missing", f)
+					}
+					mr.fields = append(mr.fields, idx)
+					mr.inits = append(mr.inits, prod.Circuit.Regs()[idx].Init)
+				}
+				g.maskRules = append(g.maskRules, mr)
+			}
+		}
+	}
+	return g, nil
+}
+
+// secretPair returns differing left/right secret values.
+func (g *exampleGen) secretPair() (uint64, uint64) {
+	l := g.rng.Uint64() & 0xffff
+	r := g.rng.Uint64() & 0xffff
+	if l == r {
+		r ^= 1 + g.rng.Uint64()&0xff
+	}
+	return l, r
+}
+
+// freshSim builds a product simulator in an equal-modulo-secret state.
+func (g *exampleGen) freshSim() *circuit.Sim {
+	sim := circuit.NewSim(g.prod.Circuit)
+	snap := sim.Snapshot()
+	for i := range g.secretsL {
+		l, r := g.secretPair()
+		snap[g.secretsL[i]] = l
+		snap[g.secretsR[i]] = r
+	}
+	sim.LoadSnapshot(snap)
+	return sim
+}
+
+// checkObs verifies the trace-indistinguishability of the observables in
+// the current state.
+func (g *exampleGen) checkObs(snap circuit.Snapshot) bool {
+	for i := range g.obsL {
+		if snap[g.obsL[i]] != snap[g.obsR[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// mask applies the example-masking annotations (§5.2.1): fields guarded by
+// a cleared valid bit are reset to their declared reset values.
+func (g *exampleGen) mask(snap circuit.Snapshot) circuit.Snapshot {
+	if len(g.maskRules) == 0 {
+		return snap
+	}
+	out := snap.Clone()
+	for _, mr := range g.maskRules {
+		if out[mr.valid] != 0 {
+			continue
+		}
+		for i, f := range mr.fields {
+			out[f] = mr.inits[i]
+		}
+	}
+	return out
+}
+
+// step feeds one instruction word and returns the post-edge snapshot.
+func (g *exampleGen) step(sim *circuit.Sim, word uint64) (circuit.Snapshot, error) {
+	if err := sim.Step(circuit.Inputs{g.tgt.InstrPort: word}); err != nil {
+		return nil, err
+	}
+	return sim.Snapshot(), nil
+}
+
+// Generate produces the positive example set for a proposed safe set: the
+// initial product state, a pure-NOP run, and RunsPerInstr paired runs per
+// safe instruction. Each run optionally executes the dirty preamble, then
+// the instruction under analysis, NOP-padded; product states from the
+// instruction's in-flight window become (masked) examples. A property
+// violation during any run aborts with ErrUnsafe.
+func (g *exampleGen) Generate(safe []string) ([]circuit.Snapshot, error) {
+	pad := g.tgt.MaxLatency
+	var out []circuit.Snapshot
+
+	// The initial state is always a positive example (it anchors
+	// initiation, Definition 4.8 / P-S).
+	out = append(out, g.mask(circuit.InitSnapshot(g.prod.Circuit)))
+
+	type runSpec struct {
+		mns     []string
+		chained bool
+	}
+	runs := []runSpec{{mns: []string{""}}} // pure-NOP run (ε-composition)
+	for _, mn := range safe {
+		for k := 0; k < g.cfg.RunsPerInstr; k++ {
+			runs = append(runs, runSpec{mns: []string{mn}})
+		}
+	}
+	// Back-to-back compositions of safe instructions (Definition 4.4
+	// quantifies over sequences; these runs exercise deep structural
+	// occupancy — multiple issue-queue/ROB entries live at once). Half of
+	// the bursts are dependency-chained through a single register (when
+	// the target supports pinned operands), which serializes completion
+	// and fills the issue queue and reorder buffer to their capacity.
+	if len(safe) > 0 {
+		burstLen := g.cfg.CompositionLen
+		if burstLen == 0 {
+			burstLen = 8
+		}
+		for k := 0; k < g.cfg.CompositionRuns; k++ {
+			burst := make([]string, burstLen)
+			for i := range burst {
+				burst[i] = safe[g.rng.Intn(len(safe))]
+			}
+			runs = append(runs, runSpec{mns: burst, chained: k%2 == 1 && g.tgt.EncodeDep != nil})
+		}
+	}
+
+	for _, run := range runs {
+		runName := run.mns[0]
+		if runName == "" {
+			runName = "<nop>"
+		}
+		if len(run.mns) > 1 {
+			runName = "<burst:" + run.mns[0] + ",...>"
+		}
+		sim := g.freshSim()
+		cycle := 0
+		feed := func(word uint64, collect bool) error {
+			snap, err := g.step(sim, word)
+			if err != nil {
+				return err
+			}
+			cycle++
+			if !g.checkObs(snap) {
+				return ErrUnsafe{Instr: runName, Cycle: cycle}
+			}
+			if collect {
+				out = append(out, g.mask(snap))
+			}
+			return nil
+		}
+
+		// Start-up: optional dirty preamble, fully padded so it drains.
+		if g.cfg.DirtyPreamble && g.tgt.DirtyPreamble != nil {
+			for _, w := range g.tgt.DirtyPreamble(g.rng) {
+				if err := g.stepPreamble(sim, w, pad); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Leading NOPs (quiesce). These states are positive examples too —
+		// they witness ε-compositions from an equal-modulo-secret state
+		// and enrich E, which is what keeps backtracking low (§3.2.1).
+		for i := 0; i < 2; i++ {
+			if err := feed(g.tgt.Nop, true); err != nil {
+				return nil, err
+			}
+		}
+		// The instruction(s) under analysis (a NOP for the ε run; a
+		// back-to-back burst for composition runs), followed by padding;
+		// collect the whole in-flight window.
+		for _, mn := range run.mns {
+			word := g.tgt.Nop
+			if mn != "" {
+				var w uint64
+				var err error
+				if run.chained {
+					w, err = g.tgt.EncodeDep(mn, 1, 1, 1, g.rng)
+				} else {
+					w, err = g.tgt.Encode(mn, g.rng)
+				}
+				if err != nil {
+					return nil, err
+				}
+				word = w
+			}
+			if err := feed(word, true); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < pad+2+2*len(run.mns); i++ {
+			if err := feed(g.tgt.Nop, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// stepPreamble runs one unsafe start-up instruction plus its padding
+// without collecting examples (the paper's start-up code; §5.2). The
+// property is not checked during the preamble — preamble instructions use
+// public operands, so both copies behave identically by construction.
+func (g *exampleGen) stepPreamble(sim *circuit.Sim, word uint64, pad int) error {
+	if _, err := g.step(sim, word); err != nil {
+		return err
+	}
+	for i := 0; i < pad; i++ {
+		if _, err := g.step(sim, g.tgt.Nop); err != nil {
+			return err
+		}
+	}
+	return nil
+}

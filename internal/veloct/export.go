@@ -1,0 +1,158 @@
+package veloct
+
+import (
+	"fmt"
+	"io"
+
+	"hhoudini/internal/btor2"
+	"hhoudini/internal/circuit"
+	"hhoudini/internal/hhoudini"
+	"hhoudini/internal/mc"
+	"hhoudini/internal/miter"
+)
+
+// Certificate compiles a verification result into a self-contained circuit
+// that external tools can check: a copy of the product circuit with three
+// named wires —
+//
+//	invariant    the conjunction of every learned predicate,
+//	safe_inputs  the environment assumption (instruction ∈ safe set ∪ ε),
+//	bad          ¬invariant.
+//
+// Because the invariant is 1-step inductive under the assumption and holds
+// at reset, "bad is unreachable under constraint safe_inputs" is provable
+// by plain 1-induction; any btor2 model checker — or this repository's own
+// mc engine (see CheckCertificate) — can re-establish the security claim
+// without trusting the learner.
+func (a *Analysis) Certificate(res *Result) (*circuit.Circuit, error) {
+	if res.Invariant == nil {
+		return nil, fmt.Errorf("veloct: no invariant to certify")
+	}
+	b := circuit.NewBuilder()
+	if err := circuit.DuplicateInto(b, a.Product.Circuit, "", nil); err != nil {
+		return nil, err
+	}
+
+	var preds []circuit.Signal
+	for _, p := range res.Invariant.Preds {
+		sig, err := buildPredSignal(b, p)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, sig)
+	}
+	inv := b.AndN(preds...)
+
+	in, ok := b.InputWord(a.Target.InstrPort)
+	if !ok {
+		return nil, fmt.Errorf("veloct: instruction port %q missing from certificate", a.Target.InstrPort)
+	}
+	safeIn := circuit.False
+	for _, mm := range a.Target.SafePatterns(res.Safe) {
+		safeIn = b.Or2(safeIn, matchSignal(b, in, mm.Mask, mm.Match))
+	}
+
+	b.Name("invariant", circuit.Word{inv})
+	b.Name("safe_inputs", circuit.Word{safeIn})
+	b.Name("bad", circuit.Word{b.Not(inv)})
+	return b.Build()
+}
+
+// ExportCertificate writes the certificate as a btor2 model with the
+// environment assumption as a constraint and ¬invariant as the bad
+// property.
+func (a *Analysis) ExportCertificate(w io.Writer, res *Result) error {
+	cert, err := a.Certificate(res)
+	if err != nil {
+		return err
+	}
+	return btor2.Write(w, cert, []string{"bad"}, []string{"safe_inputs"})
+}
+
+// CheckCertificate re-verifies a result with the independent k-induction
+// engine: the certificate's bad wire must be provably unreachable under
+// the safe-input constraint with k = 1 (the invariant is 1-step
+// inductive). This closes the loop without trusting the learner's
+// bookkeeping: only the SAT solver and CNF encoder are shared.
+func (a *Analysis) CheckCertificate(res *Result) error {
+	cert, err := a.Certificate(res)
+	if err != nil {
+		return err
+	}
+	proved, cex, err := mc.KInductionUnder(cert, "bad", 1, []string{"safe_inputs"})
+	if err != nil {
+		return err
+	}
+	if cex != nil {
+		return fmt.Errorf("veloct: certificate refuted — invariant violated after %d steps", cex.Len())
+	}
+	if !proved {
+		return fmt.Errorf("veloct: certificate not 1-inductive")
+	}
+	return nil
+}
+
+// buildPredSignal compiles a relational predicate into combinational logic
+// over the (duplicated) product circuit's registers.
+func buildPredSignal(b *circuit.Builder, p hhoudini.Pred) (circuit.Signal, error) {
+	pair := func(reg string) (circuit.Word, circuit.Word, error) {
+		l, ok1 := b.RegWord(miter.Left(reg))
+		r, ok2 := b.RegWord(miter.Right(reg))
+		if !ok1 || !ok2 {
+			return nil, nil, fmt.Errorf("veloct: register %q missing from certificate", reg)
+		}
+		return l, r, nil
+	}
+	switch q := p.(type) {
+	case EqPred:
+		l, r, err := pair(q.Reg)
+		if err != nil {
+			return circuit.False, err
+		}
+		return b.Eq(l, r), nil
+	case EqConstPred:
+		l, r, err := pair(q.Reg)
+		if err != nil {
+			return circuit.False, err
+		}
+		return b.And2(b.EqConst(l, q.Val), b.EqConst(r, q.Val)), nil
+	case EqConstSetPred:
+		l, r, err := pair(q.Reg)
+		if err != nil {
+			return circuit.False, err
+		}
+		member := circuit.False
+		for _, v := range q.Vals {
+			member = b.Or2(member, b.EqConst(l, v))
+		}
+		return b.And2(b.Eq(l, r), member), nil
+	case InSafeSetPred:
+		l, r, err := pair(q.Reg)
+		if err != nil {
+			return circuit.False, err
+		}
+		member := circuit.False
+		for _, mm := range q.Pats {
+			member = b.Or2(member, matchSignal(b, l, mm.Mask, mm.Match))
+		}
+		return b.And2(b.Eq(l, r), member), nil
+	default:
+		return circuit.False, fmt.Errorf("veloct: cannot compile predicate %T into a certificate", p)
+	}
+}
+
+// matchSignal builds (word & mask) == match over the masked bits.
+func matchSignal(b *circuit.Builder, w circuit.Word, mask, match uint32) circuit.Signal {
+	acc := circuit.True
+	for i, sig := range w {
+		if i >= 32 || mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if match&(1<<uint(i)) != 0 {
+			acc = b.And2(acc, sig)
+		} else {
+			acc = b.And2(acc, sig.Not())
+		}
+	}
+	return acc
+}

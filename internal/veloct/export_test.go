@@ -1,0 +1,100 @@
+package veloct
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hhoudini/internal/btor2"
+	"hhoudini/internal/design"
+	"hhoudini/internal/hhoudini"
+	"hhoudini/internal/mc"
+)
+
+func TestCertificateRoundTrip(t *testing.T) {
+	a := execAnalysis(t, DefaultOptions())
+	res, err := a.Verify([]string{"add"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Invariant == nil {
+		t.Fatal(res.Reason)
+	}
+
+	// The independent k-induction engine must re-establish the claim.
+	if err := a.CheckCertificate(res); err != nil {
+		t.Fatal(err)
+	}
+
+	// The exported btor2 must re-parse and still be provable.
+	var buf bytes.Buffer
+	if err := a.ExportCertificate(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "constraint") || !strings.Contains(text, "bad") {
+		t.Fatal("certificate lacks constraint/bad lines")
+	}
+	d, err := btor2.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Bads) != 1 || len(d.Constraints) != 1 {
+		t.Fatalf("bads=%v constraints=%v", d.Bads, d.Constraints)
+	}
+	proved, cex, err := mc.KInductionUnder(d.Circuit, d.Bads[0], 1, d.Constraints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cex != nil || !proved {
+		t.Fatalf("re-parsed certificate not provable: proved=%v cex=%v", proved, cex)
+	}
+}
+
+func TestCertificateInOrder(t *testing.T) {
+	a := inOrderAnalysis(t, DefaultOptions())
+	res, err := a.Verify(inOrderSafeSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Invariant == nil {
+		t.Fatal(res.Reason)
+	}
+	if err := a.CheckCertificate(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertificateOoO(t *testing.T) {
+	a := oooAnalysis(t, design.SmallOoO, DefaultOptions())
+	res, err := a.Verify(oooSafeSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Invariant == nil {
+		t.Fatal(res.Reason)
+	}
+	if err := a.CheckCertificate(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertificateRejectsBogusInvariant(t *testing.T) {
+	a := execAnalysis(t, DefaultOptions())
+	res, err := a.Verify([]string{"add"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the invariant: claim valid_mul is always 1 (false at reset
+	// and not inductive).
+	bogus := *res
+	inv := *res.Invariant
+	inv.Preds = append(append([]hhoudini.Pred{}, inv.Preds...), EqConstPred{Reg: "valid_mul", Val: 1})
+	bogus.Invariant = &inv
+	if err := a.CheckCertificate(&bogus); err == nil {
+		t.Fatal("corrupted certificate must be rejected")
+	}
+	if _, err := a.Certificate(&Result{}); err == nil {
+		t.Fatal("certificate without invariant must error")
+	}
+}
