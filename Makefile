@@ -1,0 +1,31 @@
+# Development targets. `make ci` is the gate: vet + build + race tests +
+# a 1-iteration smoke run of every benchmark.
+
+GO ?= go
+
+.PHONY: all vet build test race bench-smoke bench ci
+
+all: build
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches bit-rot in the harness without
+# paying for stable timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The real benchmark sweep (stable-ish timings; see also cmd/experiments).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+ci: vet build race bench-smoke

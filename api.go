@@ -38,8 +38,12 @@ type (
 	Inputs   = circuit.Inputs
 )
 
-// Encoder Tseitin-encodes circuit cones into a SAT solver.
-type Encoder = circuit.Encoder
+// Encoder Tseitin-encodes circuit cones into a SAT solver; EncoderStats
+// counts the encode work it has performed (gates, clauses, memo hits).
+type (
+	Encoder      = circuit.Encoder
+	EncoderStats = circuit.EncoderStats
+)
 
 // NewCircuitBuilder returns an empty circuit builder.
 func NewCircuitBuilder() *CircuitBuilder { return circuit.NewBuilder() }

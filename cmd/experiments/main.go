@@ -347,6 +347,7 @@ func ablations() {
 		}
 		status := "ok"
 		size, tasks, backtracks := 0, int64(0), int64(0)
+		var encClauses, solvers int64
 		if res.Invariant == nil {
 			status = "NONE"
 		} else {
@@ -354,9 +355,10 @@ func ablations() {
 		}
 		if res.Stats != nil {
 			tasks, backtracks = res.Stats.Tasks, res.Stats.Backtracks
+			encClauses, solvers = res.Stats.EncodedClauses, res.Stats.SolverAllocs
 		}
-		fmt.Printf("%-34s %-5s time=%8.2fs inv=%4d tasks=%5d backtracks=%5d\n",
-			name, status, time.Since(start).Seconds(), size, tasks, backtracks)
+		fmt.Printf("%-34s %-5s time=%8.2fs inv=%4d tasks=%5d backtracks=%5d solvers=%5d enc-clauses=%9d\n",
+			name, status, time.Since(start).Seconds(), size, tasks, backtracks, solvers, encClauses)
 	}
 
 	run("default", hh.DefaultAnalysisOptions())
@@ -368,6 +370,10 @@ func ablations() {
 	o = hh.DefaultAnalysisOptions()
 	o.Learner.StagedMining = true
 	run("staged (incremental) mining", o)
+
+	o = hh.DefaultAnalysisOptions()
+	o.Learner.IncrementalSolver = false
+	run("fresh solver per query (no pooling)", o)
 
 	o = hh.DefaultAnalysisOptions()
 	o.Examples.RunsPerInstr = 1

@@ -28,6 +28,7 @@ var (
 	flagSafe       = flag.String("safe", "", "comma-separated proposed safe set (empty: synthesize)")
 	flagSynthesize = flag.Bool("synthesize", false, "synthesize the safe set instead of verifying one")
 	flagWorkers    = flag.Int("workers", 1, "parallel learner workers (0 = GOMAXPROCS)")
+	flagIncr       = flag.Bool("incremental", true, "pooled incremental SAT backend (false: fresh solver per abduction query)")
 	flagShowInv    = flag.Bool("show-invariant", false, "print every predicate of the learned invariant")
 	flagAudit      = flag.Bool("audit", true, "monolithically re-verify the learned invariant")
 	flagSeed       = flag.Int64("seed", 1, "example-generation seed")
@@ -44,6 +45,7 @@ func main() {
 	tgt := buildDesign(*flagDesign)
 	opts := hh.DefaultAnalysisOptions()
 	opts.Learner.Workers = *flagWorkers
+	opts.Learner.IncrementalSolver = *flagIncr
 	opts.Examples.Seed = *flagSeed
 	analysis, err := hh.NewAnalysis(tgt, opts)
 	if err != nil {
@@ -134,6 +136,9 @@ func report(a *hh.Analysis, res *hh.Result, elapsed time.Duration) {
 	if res.Stats != nil {
 		fmt.Printf("  tasks=%d queries=%d backtracks=%d examples=%d\n",
 			res.Stats.Tasks, res.Stats.Queries, res.Stats.Backtracks, res.Examples)
+		fmt.Printf("  solvers=%d pool-reuses=%d encoded gates=%d clauses=%d\n",
+			res.Stats.SolverAllocs, res.Stats.PoolReuses,
+			res.Stats.EncodedGates, res.Stats.EncodedClauses)
 		fmt.Printf("  median query %v, median task %v, p95 task %v\n",
 			res.Stats.MedianQueryTime().Round(time.Microsecond),
 			res.Stats.MedianTaskTime().Round(time.Microsecond),

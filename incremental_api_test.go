@@ -1,0 +1,88 @@
+package hhoudini_test
+
+// End-to-end differential test of the incremental SAT backend through the
+// public facade: the pooled and fresh-solver abduction paths must agree on
+// the full VeloCT pipeline over the Appendix C execute stage, the learned
+// invariants must survive the monolithic audit, and pooling must strictly
+// reduce the encode work.
+
+import (
+	"testing"
+
+	hh "hhoudini"
+)
+
+func execStageVerify(t *testing.T, incremental bool, workers int) (*hh.Analysis, *hh.Result) {
+	t.Helper()
+	tgt, err := hh.NewExecStage(hh.ExecStageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := hh.DefaultAnalysisOptions()
+	opts.Learner.IncrementalSolver = incremental
+	opts.Learner.Workers = workers
+	a, err := hh.NewAnalysis(tgt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Verify([]string{"add"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, res
+}
+
+func TestIncrementalBackendOnExecStage(t *testing.T) {
+	aF, resF := execStageVerify(t, false, 1)
+	if resF.Invariant == nil {
+		t.Fatalf("fresh backend failed: %s", resF.Reason)
+	}
+	if err := aF.Audit(resF); err != nil {
+		t.Fatalf("fresh audit: %v", err)
+	}
+
+	for _, workers := range []int{1, 3} {
+		aI, resI := execStageVerify(t, true, workers)
+		if resI.Invariant == nil {
+			t.Fatalf("workers=%d: incremental backend failed: %s", workers, resI.Reason)
+		}
+		if err := aI.Audit(resI); err != nil {
+			t.Fatalf("workers=%d: incremental audit: %v", workers, err)
+		}
+		if resI.Stats.SolverAllocs >= resF.Stats.SolverAllocs {
+			t.Fatalf("workers=%d: pooling must allocate fewer solvers: incremental=%d fresh=%d",
+				workers, resI.Stats.SolverAllocs, resF.Stats.SolverAllocs)
+		}
+		if resI.Stats.EncodedClauses >= resF.Stats.EncodedClauses {
+			t.Fatalf("workers=%d: pooling must encode fewer clauses: incremental=%d fresh=%d",
+				workers, resI.Stats.EncodedClauses, resF.Stats.EncodedClauses)
+		}
+		if resI.Stats.PoolReuses == 0 {
+			t.Fatalf("workers=%d: expected warm-cone reuse", workers)
+		}
+	}
+}
+
+// TestIncrementalBackendRejectsUnsafeSet checks the None verdict is also
+// backend-independent: the zero-skip multiplier must fail on both paths.
+func TestIncrementalBackendRejectsUnsafeSet(t *testing.T) {
+	tgt, err := hh.NewExecStage(hh.ExecStageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, incremental := range []bool{false, true} {
+		opts := hh.DefaultAnalysisOptions()
+		opts.Learner.IncrementalSolver = incremental
+		a, err := hh.NewAnalysis(tgt, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := a.Verify([]string{"add", "mul"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Invariant != nil {
+			t.Fatalf("incremental=%v: mul must not verify on the zero-skip stage", incremental)
+		}
+	}
+}

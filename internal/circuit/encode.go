@@ -15,12 +15,30 @@ import (
 // The encoding covers a single transition: current-state register bits and
 // input bits become free variables, and the next-state value of a register
 // bit is the encoding of its next-state function over those variables.
+//
+// An Encoder is built for reuse across queries on the same solver: the
+// node→literal memoization is persistent, so a cone (or a predicate
+// encoding cached via Memo) is Tseitin-encoded at most once per Encoder
+// lifetime. Query-specific facts should be scoped with assumption
+// literals — either directly, or through selector-guarded clauses added
+// with AssertLitWhen — rather than asserted destructively with AssertLit.
 type Encoder struct {
 	S *sat.Solver
 	c *Circuit
 
 	lits       []sat.Lit // per node; litUnset until encoded
 	constFalse sat.Lit
+	memo       map[string]sat.Lit
+	stats      EncoderStats
+}
+
+// EncoderStats counts the encoding work an Encoder has performed. The
+// incremental abduction backend reads per-query deltas off these counters
+// to demonstrate the encode-work drop from solver pooling.
+type EncoderStats struct {
+	Gates    int64 // auxiliary (Tseitin gate) variables introduced
+	Clauses  int64 // clauses added through the encoder
+	MemoHits int64 // Memo calls served from cache without re-encoding
 }
 
 const litUnset sat.Lit = -2
@@ -28,14 +46,47 @@ const litUnset sat.Lit = -2
 // NewEncoder creates an encoder targeting the given solver. Multiple
 // encoders must not share a solver.
 func NewEncoder(c *Circuit, s *sat.Solver) *Encoder {
-	e := &Encoder{S: s, c: c, lits: make([]sat.Lit, len(c.nodes))}
+	e := &Encoder{S: s, c: c, lits: make([]sat.Lit, len(c.nodes)),
+		memo: make(map[string]sat.Lit)}
 	for i := range e.lits {
 		e.lits[i] = litUnset
 	}
 	e.constFalse = sat.PosLit(s.NewVar())
-	s.AddClause(e.constFalse.Not())
+	e.addClause(e.constFalse.Not())
 	e.lits[0] = e.constFalse
 	return e
+}
+
+// Stats returns the cumulative encode-work counters.
+func (e *Encoder) Stats() EncoderStats { return e.stats }
+
+// newGate allocates a fresh auxiliary (gate) variable.
+func (e *Encoder) newGate() sat.Lit {
+	e.stats.Gates++
+	return sat.PosLit(e.S.NewVar())
+}
+
+// addClause adds a clause through the encoder, counting the encode work.
+func (e *Encoder) addClause(ls ...sat.Lit) {
+	e.stats.Clauses++
+	e.S.AddClause(ls...)
+}
+
+// Memo returns the literal cached under key, building and caching it on
+// first use. It is the reuse hook for predicate encodings: encodings are
+// deterministic functions of the (persistent) encoder state, so a cached
+// literal stays equivalent for the lifetime of the encoder.
+func (e *Encoder) Memo(key string, build func() (sat.Lit, error)) (sat.Lit, error) {
+	if l, ok := e.memo[key]; ok {
+		e.stats.MemoHits++
+		return l, nil
+	}
+	l, err := build()
+	if err != nil {
+		return 0, err
+	}
+	e.memo[key] = l
+	return l, nil
 }
 
 // FalseLit returns a literal constrained to false.
@@ -78,13 +129,13 @@ func (e *Encoder) nodeLit(id int32) sat.Lit {
 				}
 				continue
 			}
-			g := sat.PosLit(e.S.NewVar())
+			g := e.newGate()
 			a := la.XorSign(nd.a.Inverted())
 			b := lb.XorSign(nd.b.Inverted())
 			// g ↔ a ∧ b
-			e.S.AddClause(g.Not(), a)
-			e.S.AddClause(g.Not(), b)
-			e.S.AddClause(a.Not(), b.Not(), g)
+			e.addClause(g.Not(), a)
+			e.addClause(g.Not(), b)
+			e.addClause(a.Not(), b.Not(), g)
 			e.lits[n] = g
 			stack = stack[:len(stack)-1]
 		default: // kConst handled in NewEncoder
@@ -150,14 +201,14 @@ func (e *Encoder) AndLits(ls ...sat.Lit) sat.Lit {
 	case 1:
 		return ls[0]
 	}
-	g := sat.PosLit(e.S.NewVar())
+	g := e.newGate()
 	long := make([]sat.Lit, 0, len(ls)+1)
 	for _, l := range ls {
-		e.S.AddClause(g.Not(), l)
+		e.addClause(g.Not(), l)
 		long = append(long, l.Not())
 	}
 	long = append(long, g)
-	e.S.AddClause(long...)
+	e.addClause(long...)
 	return g
 }
 
@@ -178,11 +229,11 @@ func (e *Encoder) OrLits(ls ...sat.Lit) sat.Lit {
 
 // XnorLit returns a literal equivalent to a ↔ b.
 func (e *Encoder) XnorLit(a, b sat.Lit) sat.Lit {
-	g := sat.PosLit(e.S.NewVar())
-	e.S.AddClause(g.Not(), a.Not(), b)
-	e.S.AddClause(g.Not(), a, b.Not())
-	e.S.AddClause(g, a, b)
-	e.S.AddClause(g, a.Not(), b.Not())
+	g := e.newGate()
+	e.addClause(g.Not(), a.Not(), b)
+	e.addClause(g.Not(), a, b.Not())
+	e.addClause(g, a, b)
+	e.addClause(g, a.Not(), b.Not())
 	return g
 }
 
@@ -228,5 +279,15 @@ func (e *Encoder) MatchLits(a []sat.Lit, mask, match uint64) sat.Lit {
 	return e.AndLits(bits...)
 }
 
-// AssertLit adds a unit clause fixing l true.
-func (e *Encoder) AssertLit(l sat.Lit) { e.S.AddClause(l) }
+// AssertLit adds a unit clause fixing l true. The assertion is permanent;
+// on a pooled (reused) encoder prefer assumptions or AssertLitWhen.
+func (e *Encoder) AssertLit(l sat.Lit) { e.addClause(l) }
+
+// AssertLitWhen adds the selector-guarded clause sel → l: the assertion is
+// active only in Solve calls that assume sel, making it retractable — the
+// guarded clause can later be permanently discharged by releasing sel
+// (sat.Solver.Release).
+func (e *Encoder) AssertLitWhen(sel, l sat.Lit) { e.addClause(sel.Not(), l) }
+
+// NewSelector allocates a fresh activation literal for guarded assertions.
+func (e *Encoder) NewSelector() sat.Lit { return e.S.NewSelector() }

@@ -3,6 +3,7 @@ package hhoudini
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"hhoudini/internal/sat"
@@ -29,16 +30,38 @@ type abductResult struct {
 // is the abduct. Since ⋀P_V ∧ p_target is non-contradictory — every
 // candidate and the target hold on the positive examples (P-S) — the
 // UNSAT-ness must come from ¬p'_target, making the extraction sound.
-func (l *Learner) abduct(target Pred, cands []Pred) (abductResult, error) {
+//
+// Two backends answer the query. The incremental backend (the default;
+// Options.IncrementalSolver) runs it against a pooled per-worker solver
+// keyed by target-cone signature: the cone encoding, the candidate
+// encodings and the solver's learnt clauses persist across queries, and
+// the query-specific facts p_target / ¬p'_target are scoped as assumptions
+// rather than destructive unit clauses. The fresh backend re-encodes
+// everything into a brand-new solver per query — the monolithic-restart
+// behaviour the paper contrasts against, kept for the ablation benches.
+func (l *Learner) abduct(target Pred, cands []Pred, pool *encoderPool) (abductResult, error) {
 	start := time.Now()
 	defer func() {
 		l.stats.recordQuery(time.Since(start))
 	}()
+	if l.opts.IncrementalSolver && pool != nil {
+		return l.abductIncremental(target, cands, pool)
+	}
+	return l.abductFresh(target, cands)
+}
 
+// abductFresh is the fresh-solver backend: one new solver and a from-
+// scratch Tseitin encoding per query.
+func (l *Learner) abductFresh(target Pred, cands []Pred) (abductResult, error) {
 	enc, err := l.sys.newEncoder()
 	if err != nil {
 		return abductResult{}, err
 	}
+	atomic.AddInt64(&l.stats.SolverAllocs, 1)
+	defer func() {
+		es := enc.Stats()
+		l.stats.addEncodeWork(es.Gates, es.Clauses)
+	}()
 	cur, err := target.Encode(enc, false)
 	if err != nil {
 		return abductResult{}, err
@@ -60,8 +83,8 @@ func (l *Learner) abduct(target Pred, cands []Pred) (abductResult, error) {
 		if err != nil {
 			return abductResult{}, err
 		}
-		s := sat.PosLit(enc.S.NewVar())
-		enc.S.AddClause(s.Not(), lit) // s → p
+		s := enc.NewSelector()
+		enc.AssertLitWhen(s, lit) // s → p
 		sels = append(sels, s)
 		bySel[s] = p
 	}
@@ -74,13 +97,7 @@ func (l *Learner) abduct(target Pred, cands []Pred) (abductResult, error) {
 		return abductResult{}, fmt.Errorf("hhoudini: solver gave up on abduction query for %s", target)
 	}
 	if l.opts.MinimizeCores {
-		// Bias toward the weakest abduct (§3.2.3): deletion-based
-		// minimization drops literals front-to-back, so putting the
-		// strongest (highest-tier) predicates first removes them whenever
-		// the weaker ones suffice.
-		sort.SliceStable(core, func(i, j int) bool {
-			return tierOf(bySel[core[i]]) > tierOf(bySel[core[j]])
-		})
+		orderCoreForMinimization(core, func(s sat.Lit) int { return tierOf(bySel[s]) })
 		core = enc.S.MinimizeCore(core)
 	}
 	out := make([]Pred, 0, len(core))
@@ -92,4 +109,107 @@ func (l *Learner) abduct(target Pred, cands []Pred) (abductResult, error) {
 		out = append(out, p)
 	}
 	return abductResult{preds: out, ok: true}, nil
+}
+
+// abductIncremental is the pooled backend: the query runs against the
+// worker's long-lived solver for the target's cone. p_target and
+// ¬p'_target join the candidate selectors as assumptions, so nothing
+// destructive is ever asserted and the solver instance survives arbitrary
+// further queries over the same cone.
+func (l *Learner) abductIncremental(target Pred, cands []Pred, pool *encoderPool) (abductResult, error) {
+	pe, _, err := pool.get(target)
+	if err != nil {
+		return abductResult{}, err
+	}
+	defer pe.chargeEncodeWork(l.stats)
+	l.releaseDeadSelectors(pe)
+
+	cur, err := pe.litFor(target, false)
+	if err != nil {
+		return abductResult{}, err
+	}
+	next, err := pe.litFor(target, true)
+	if err != nil {
+		return abductResult{}, err
+	}
+	assumps := make([]sat.Lit, 0, len(cands)+2)
+	assumps = append(assumps, cur, next.Not())
+	bySel := make(map[sat.Lit]Pred, len(cands))
+	for _, p := range cands {
+		if p.ID() == target.ID() {
+			continue // already assumed via cur
+		}
+		s, err := pe.selectorFor(p)
+		if err != nil {
+			return abductResult{}, err
+		}
+		assumps = append(assumps, s)
+		bySel[s] = p
+	}
+
+	st, core := pe.enc.S.SolveWithCore(assumps)
+	switch st {
+	case sat.Sat:
+		return abductResult{ok: false}, nil
+	case sat.Unknown:
+		return abductResult{}, fmt.Errorf("hhoudini: solver gave up on abduction query for %s", target)
+	}
+	if l.opts.MinimizeCores {
+		// cur/¬next may appear in the core; rank them below every
+		// candidate tier so deletion-based minimization drops them only
+		// when truly redundant (dropping them is sound: any UNSAT subset
+		// of the assumptions stays UNSAT with them re-added).
+		orderCoreForMinimization(core, func(s sat.Lit) int {
+			if p, ok := bySel[s]; ok {
+				return tierOf(p)
+			}
+			return -1
+		})
+		core = pe.enc.S.MinimizeCore(core)
+	}
+	out := make([]Pred, 0, len(core))
+	for _, s := range core {
+		p, ok := bySel[s]
+		if !ok {
+			// The target's own assumptions are always conceptually part
+			// of the query; they carry no abduct member.
+			if s == cur || s == next.Not() {
+				continue
+			}
+			return abductResult{}, fmt.Errorf("hhoudini: core literal %v is not a selector", s)
+		}
+		out = append(out, p)
+	}
+	return abductResult{preds: out, ok: true}, nil
+}
+
+// orderCoreForMinimization orders a core for deletion-based minimization,
+// biasing toward the weakest abduct (§3.2.3): deletion drops literals
+// front-to-back, so the strongest (highest-tier) entries go first and are
+// removed whenever the weaker ones suffice.
+func orderCoreForMinimization(core []sat.Lit, rank func(sat.Lit) int) {
+	sort.SliceStable(core, func(i, j int) bool {
+		return rank(core[i]) > rank(core[j])
+	})
+}
+
+// releaseDeadSelectors retracts pooled selectors whose predicates have
+// entered P_fail since the encoder last ran: a failed predicate can never
+// appear in any abduct again, so its guarded clause is dead weight the
+// solver can garbage-collect.
+func (l *Learner) releaseDeadSelectors(pe *pooledEncoder) {
+	if len(pe.sels) == 0 {
+		return
+	}
+	var dead []string
+	l.mu.Lock()
+	for id := range pe.sels {
+		if l.failed[id] {
+			dead = append(dead, id)
+		}
+	}
+	l.mu.Unlock()
+	for _, id := range dead {
+		pe.releaseSelector(id)
+	}
 }

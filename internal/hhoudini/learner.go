@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hhoudini/internal/circuit"
@@ -24,11 +25,20 @@ type Options struct {
 	// subsets (tier by tier) instead of everything at once — the
 	// incremental mining variant of §3.2.3 footnote 4.
 	StagedMining bool
+	// IncrementalSolver enables the pooled abduction backend: each worker
+	// keeps solver/encoder pairs keyed by target-cone signature, scopes
+	// the query-specific facts (p_target, ¬p'_target, candidate
+	// attachment) with assumption literals, and memoizes every cone and
+	// predicate encoding across queries. Disabling it restores the
+	// fresh-solver-per-query path — the ablation baseline exercised by
+	// BenchmarkAblationIncrementalSolver.
+	IncrementalSolver bool
 }
 
-// DefaultOptions mirror the paper's configuration.
+// DefaultOptions mirror the paper's configuration (incremental,
+// assumption-scoped abduction queries).
 func DefaultOptions() Options {
-	return Options{Workers: 1, MinimizeCores: true}
+	return Options{Workers: 1, MinimizeCores: true, IncrementalSolver: true}
 }
 
 // Tiered is an optional interface predicates may implement to support
@@ -45,18 +55,41 @@ func tierOf(p Pred) int {
 }
 
 // Stats aggregates the instrumentation behind the paper's Figures 4 and 5.
+//
+// The counter fields are updated with atomic operations on the hot path
+// (no lock); read them only after Learn returns, or via atomic loads.
 type Stats struct {
-	mu         sync.Mutex
 	Tasks      int64 // H-Houdini task bodies executed (Fig. 5 x-axis)
 	Backtracks int64 // re-syntheses caused by failed predicates (Fig. 5)
 	Queries    int64 // SMT (SAT) queries issued
+
+	// Encode-work counters behind the incremental-solver ablation.
+	EncodedGates   int64 // Tseitin gate variables introduced across all queries
+	EncodedClauses int64 // clauses pushed into solvers across all queries
+	SolverAllocs   int64 // solver/encoder pairs constructed
+	PoolReuses     int64 // abduction queries served by an already-warm pooled solver
+
+	WallTime time.Duration
+
+	mu         sync.Mutex
 	queryTimes []time.Duration
 	taskTimes  []time.Duration
-	WallTime   time.Duration
 	// span is the critical-path length through the task dependency graph:
 	// the wall time an execution with unbounded workers could not go below
 	// (the paper's "parallel span", Fig. 2/3).
 	span time.Duration
+}
+
+// statsPrealloc is the initial capacity of the per-query/per-task time
+// slices; learning runs on the evaluated designs issue hundreds to a few
+// thousand queries, so this avoids repeated growth under the lock.
+const statsPrealloc = 1024
+
+func newStats() *Stats {
+	return &Stats{
+		queryTimes: make([]time.Duration, 0, statsPrealloc),
+		taskTimes:  make([]time.Duration, 0, statsPrealloc),
+	}
 }
 
 // Span returns the critical-path estimate accumulated during Learn.
@@ -78,16 +111,27 @@ func (s *Stats) TotalTaskTime() time.Duration {
 }
 
 func (s *Stats) recordQuery(d time.Duration) {
+	atomic.AddInt64(&s.Queries, 1)
 	s.mu.Lock()
-	s.Queries++
 	s.queryTimes = append(s.queryTimes, d)
 	s.mu.Unlock()
 }
 
-func (s *Stats) recordTask(d time.Duration) {
+// recordTask records one task body duration and folds its dependency-chain
+// completion time into the span estimate under a single lock acquisition.
+func (s *Stats) recordTask(d, chainOut time.Duration) {
 	s.mu.Lock()
 	s.taskTimes = append(s.taskTimes, d)
+	if chainOut > s.span {
+		s.span = chainOut
+	}
 	s.mu.Unlock()
+}
+
+// addEncodeWork charges encode-work deltas from one query.
+func (s *Stats) addEncodeWork(gates, clauses int64) {
+	atomic.AddInt64(&s.EncodedGates, gates)
+	atomic.AddInt64(&s.EncodedClauses, clauses)
 }
 
 // TaskTimePercentile returns the p-quantile (0..1) of per-task times (all
@@ -164,6 +208,12 @@ type Learner struct {
 	opts  Options
 	stats *Stats
 
+	// init is the reset-state snapshot, computed once per learner;
+	// initEval memoizes per-predicate init-state evaluation by pred ID
+	// (s0 is a fixed positive example, so the verdict never changes).
+	init     circuit.Snapshot
+	initEval sync.Map // pred ID → bool
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	entries map[string]*entry
@@ -191,7 +241,8 @@ func NewLearner(sys *System, mine MineOracle, opts Options) *Learner {
 		slice:   NewCOISlicer(sys.Circuit),
 		mine:    mine,
 		opts:    opts,
-		stats:   &Stats{},
+		stats:   newStats(),
+		init:    circuit.InitSnapshot(sys.Circuit),
 		entries: make(map[string]*entry),
 		failed:  make(map[string]bool),
 	}
@@ -226,9 +277,8 @@ func (l *Learner) Learn(targets []Pred) (*Invariant, error) {
 	defer func() { l.stats.WallTime += time.Since(start) }()
 
 	// The property must at least hold initially.
-	init := circuit.InitSnapshot(l.sys.Circuit)
 	for _, t := range targets {
-		ok, err := t.Eval(l.sys.Circuit, init)
+		ok, err := l.holdsAtInit(t)
 		if err != nil {
 			return nil, err
 		}
@@ -286,8 +336,27 @@ func (l *Learner) enqueueLocked(id string) {
 	l.cond.Broadcast()
 }
 
-// worker pulls obligations until the global fixpoint is reached.
+// holdsAtInit evaluates a predicate on the cached reset snapshot,
+// memoizing the verdict by predicate ID.
+func (l *Learner) holdsAtInit(p Pred) (bool, error) {
+	id := p.ID()
+	if v, ok := l.initEval.Load(id); ok {
+		return v.(bool), nil
+	}
+	ok, err := p.Eval(l.sys.Circuit, l.init)
+	if err != nil {
+		return false, err
+	}
+	l.initEval.Store(id, ok)
+	return ok, nil
+}
+
+// worker pulls obligations until the global fixpoint is reached. Each
+// worker owns a private solver/encoder pool for the incremental abduction
+// backend (solvers are single-threaded; pooling per worker keeps the hot
+// path lock-free).
 func (l *Learner) worker() {
+	pool := newEncoderPool(l.sys, l.stats)
 	for {
 		l.mu.Lock()
 		for len(l.queue) == 0 && l.active > 0 && l.err == nil {
@@ -310,7 +379,7 @@ func (l *Learner) worker() {
 		pred := e.pred
 		l.mu.Unlock()
 
-		err := l.solveOne(pred)
+		err := l.solveOne(pred, pool)
 
 		l.mu.Lock()
 		l.active--
@@ -323,23 +392,16 @@ func (l *Learner) worker() {
 }
 
 // solveOne runs one H-Houdini task body: slice, mine, abduct, record.
-func (l *Learner) solveOne(pred Pred) error {
+func (l *Learner) solveOne(pred Pred, pool *encoderPool) error {
 	taskStart := time.Now()
 	l.mu.Lock()
 	chainIn := l.entries[pred.ID()].chainIn
 	l.mu.Unlock()
 	defer func() {
 		d := time.Since(taskStart)
-		l.stats.recordTask(d)
-		l.stats.mu.Lock()
-		if out := chainIn + d; out > l.stats.span {
-			l.stats.span = out
-		}
-		l.stats.mu.Unlock()
+		l.stats.recordTask(d, chainIn+d)
 	}()
-	l.stats.mu.Lock()
-	l.stats.Tasks++
-	l.stats.mu.Unlock()
+	atomic.AddInt64(&l.stats.Tasks, 1)
 
 	slice, err := l.slice.Slice(pred)
 	if err != nil {
@@ -358,7 +420,7 @@ func (l *Learner) solveOne(pred Pred) error {
 	}
 	l.mu.Unlock()
 
-	res, err := l.runAbduct(pred, live)
+	res, err := l.runAbduct(pred, live, pool)
 	if err != nil {
 		return err
 	}
@@ -375,9 +437,7 @@ func (l *Learner) solveOne(pred Pred) error {
 	// (the soln ∩ P_fail check of Algorithm 1, line 3).
 	for _, m := range res.preds {
 		if l.failed[m.ID()] {
-			l.stats.mu.Lock()
-			l.stats.Backtracks++
-			l.stats.mu.Unlock()
+			atomic.AddInt64(&l.stats.Backtracks, 1)
 			l.enqueueLocked(id)
 			return nil
 		}
@@ -402,12 +462,14 @@ func (l *Learner) solveOne(pred Pred) error {
 // Candidates violated by the initial state are dropped first: s0 is always
 // a positive example (Definition 4.8), so such predicates can never appear
 // in an invariant — this keeps the learner sound even against mining
-// oracles that do not fully honor Contract 2.
-func (l *Learner) runAbduct(pred Pred, cands []Pred) (abductResult, error) {
-	init := circuit.InitSnapshot(l.sys.Circuit)
-	kept := cands[:0]
+// oracles that do not fully honor Contract 2. The init-state verdicts are
+// memoized per predicate ID (holdsAtInit), and the filter builds a fresh
+// slice: the caller retains ownership of cands (mining oracles may hand
+// out shared or cached slices, so filtering in place would corrupt them).
+func (l *Learner) runAbduct(pred Pred, cands []Pred, pool *encoderPool) (abductResult, error) {
+	kept := make([]Pred, 0, len(cands))
 	for _, c := range cands {
-		ok, err := c.Eval(l.sys.Circuit, init)
+		ok, err := l.holdsAtInit(c)
 		if err != nil {
 			return abductResult{}, err
 		}
@@ -417,7 +479,7 @@ func (l *Learner) runAbduct(pred Pred, cands []Pred) (abductResult, error) {
 	}
 	cands = kept
 	if !l.opts.StagedMining {
-		return l.abduct(pred, cands)
+		return l.abduct(pred, cands, pool)
 	}
 	maxTier := 0
 	for _, c := range cands {
@@ -432,7 +494,7 @@ func (l *Learner) runAbduct(pred Pred, cands []Pred) (abductResult, error) {
 				subset = append(subset, c)
 			}
 		}
-		res, err := l.abduct(pred, subset)
+		res, err := l.abduct(pred, subset, pool)
 		if err != nil {
 			return abductResult{}, err
 		}
@@ -470,9 +532,7 @@ func (l *Learner) failLocked(id string) {
 		if uses {
 			d.solved = false
 			d.abduct = nil
-			l.stats.mu.Lock()
-			l.stats.Backtracks++
-			l.stats.mu.Unlock()
+			atomic.AddInt64(&l.stats.Backtracks, 1)
 			l.enqueueLocked(depID)
 		}
 	}

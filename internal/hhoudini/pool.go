@@ -1,0 +1,128 @@
+package hhoudini
+
+import (
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"hhoudini/internal/circuit"
+	"hhoudini/internal/sat"
+)
+
+// encoderPool is a per-worker cache of live solver/encoder pairs keyed by
+// target-cone signature. It is the substrate of the incremental abduction
+// backend: predicates ranging over the same state variables share a
+// next-state cone, so their relative-induction queries run against one
+// long-lived solver whose cone encoding, candidate-predicate encodings and
+// learnt clauses all persist across queries (§3.2's "small, incremental,
+// memoizable" checks made literal at the solver level).
+//
+// A pool is owned by exactly one worker goroutine and must not be shared:
+// the underlying sat.Solver is not safe for concurrent use. Parallel
+// learners hold one pool per worker, mirroring the paper's per-task solver
+// processes while still amortizing encode work within each worker.
+type encoderPool struct {
+	sys     *System
+	stats   *Stats
+	entries map[string]*pooledEncoder
+}
+
+// newEncoderPool creates an empty pool bound to a system. stats may be nil.
+func newEncoderPool(sys *System, stats *Stats) *encoderPool {
+	return &encoderPool{sys: sys, stats: stats, entries: make(map[string]*pooledEncoder)}
+}
+
+// coneSignature keys pooled solvers. Predicates over the same state
+// variables (e.g. Eq(v), EqConst(v,c) and InSafeSet(v) for one v) share
+// the 1-step cone of those variables, hence an encoder.
+func coneSignature(p Pred) string {
+	vars := append([]string(nil), p.Vars()...)
+	sort.Strings(vars)
+	return strings.Join(vars, "\x00")
+}
+
+// get returns the pooled encoder for the target's cone, constructing (and
+// constraining) a fresh solver on first use. The second result reports
+// whether the encoder was already warm.
+func (pl *encoderPool) get(target Pred) (*pooledEncoder, bool, error) {
+	sig := coneSignature(target)
+	if pe, ok := pl.entries[sig]; ok {
+		if pl.stats != nil {
+			atomic.AddInt64(&pl.stats.PoolReuses, 1)
+		}
+		return pe, true, nil
+	}
+	enc, err := pl.sys.newEncoder()
+	if err != nil {
+		return nil, false, err
+	}
+	if pl.stats != nil {
+		atomic.AddInt64(&pl.stats.SolverAllocs, 1)
+	}
+	pe := &pooledEncoder{enc: enc, sels: make(map[string]sat.Lit)}
+	pl.entries[sig] = pe
+	return pe, false, nil
+}
+
+// size returns the number of live solver/encoder pairs in the pool.
+func (pl *encoderPool) size() int { return len(pl.entries) }
+
+// pooledEncoder is one long-lived solver/encoder pair plus the caches that
+// make repeat queries cheap: predicate encodings are memoized by predicate
+// ID and frame (via the encoder's Memo), and each candidate predicate gets
+// one persistent selector literal guarding its attachment clause.
+type pooledEncoder struct {
+	enc *circuit.Encoder
+	// sels maps candidate predicate IDs to their persistent activation
+	// literal (guarding sel → p). A selector absent from a query's
+	// assumptions leaves its clause inactive at zero cost.
+	sels map[string]sat.Lit
+	// lastGates/lastClauses snapshot the encoder counters at the previous
+	// query boundary so per-query deltas can be charged to Stats.
+	lastGates, lastClauses int64
+}
+
+// litFor returns the memoized encoding of p in the chosen frame.
+func (pe *pooledEncoder) litFor(p Pred, next bool) (sat.Lit, error) {
+	key := p.ID()
+	if next {
+		key += "\x00next"
+	} else {
+		key += "\x00cur"
+	}
+	return pe.enc.Memo(key, func() (sat.Lit, error) { return p.Encode(pe.enc, next) })
+}
+
+// selectorFor returns the persistent activation literal attaching p as a
+// candidate, encoding p and adding the guarded clause sel → p on first use.
+func (pe *pooledEncoder) selectorFor(p Pred) (sat.Lit, error) {
+	if s, ok := pe.sels[p.ID()]; ok {
+		return s, nil
+	}
+	lit, err := pe.litFor(p, false)
+	if err != nil {
+		return 0, err
+	}
+	s := pe.enc.NewSelector()
+	pe.enc.AssertLitWhen(s, lit)
+	pe.sels[p.ID()] = s
+	return s, nil
+}
+
+// releaseSelector permanently retracts the selector of a predicate proven
+// globally unusable (P_fail): the solver pins it false and eventually
+// garbage-collects the dead guarded clause.
+func (pe *pooledEncoder) releaseSelector(id string) {
+	if s, ok := pe.sels[id]; ok {
+		pe.enc.S.Release(s)
+		delete(pe.sels, id)
+	}
+}
+
+// chargeEncodeWork adds the encoder's stat delta since the previous call
+// to the learner-level counters.
+func (pe *pooledEncoder) chargeEncodeWork(stats *Stats) {
+	es := pe.enc.Stats()
+	stats.addEncodeWork(es.Gates-pe.lastGates, es.Clauses-pe.lastClauses)
+	pe.lastGates, pe.lastClauses = es.Gates, es.Clauses
+}

@@ -1,7 +1,7 @@
 package hhoudini
 
 import (
-	"hhoudini/internal/circuit"
+	"sync/atomic"
 )
 
 // LearnRecursive is a direct transliteration of Algorithm 1: a sequential
@@ -11,9 +11,8 @@ import (
 // loop as §3.2.4 describes. A Learner instance must be used for a single
 // Learn or LearnRecursive call, not both.
 func (l *Learner) LearnRecursive(targets []Pred) (*Invariant, error) {
-	init := circuit.InitSnapshot(l.sys.Circuit)
 	for _, t := range targets {
-		ok, err := t.Eval(l.sys.Circuit, init)
+		ok, err := l.holdsAtInit(t)
 		if err != nil {
 			return nil, err
 		}
@@ -22,6 +21,9 @@ func (l *Learner) LearnRecursive(targets []Pred) (*Invariant, error) {
 		}
 	}
 	inProgress := make(map[string]bool)
+	// The recursion is sequential, so one pooled-solver set serves every
+	// abduction query; cones shared between predicates are encoded once.
+	pool := newEncoderPool(l.sys, l.stats)
 
 	var solve func(p Pred) (bool, error)
 	solve = func(p Pred) (bool, error) {
@@ -44,14 +46,14 @@ func (l *Learner) LearnRecursive(targets []Pred) (*Invariant, error) {
 			}
 			e.solved = false
 			e.abduct = nil
-			l.stats.Backtracks++
+			atomic.AddInt64(&l.stats.Backtracks, 1)
 		}
 		e := l.getOrCreateLocked(p)
 		inProgress[id] = true
 		defer delete(inProgress, id)
 
 		for { // while not valid-solution (line 7)
-			l.stats.Tasks++
+			atomic.AddInt64(&l.stats.Tasks, 1)
 			slice, err := l.slice.Slice(p)
 			if err != nil {
 				return false, err
@@ -66,7 +68,7 @@ func (l *Learner) LearnRecursive(targets []Pred) (*Invariant, error) {
 					live = append(live, c)
 				}
 			}
-			res, err := l.runAbduct(p, live)
+			res, err := l.runAbduct(p, live, pool)
 			if err != nil {
 				return false, err
 			}
@@ -91,7 +93,7 @@ func (l *Learner) LearnRecursive(targets []Pred) (*Invariant, error) {
 				e.solved = true
 				return true, nil
 			}
-			l.stats.Backtracks++
+			atomic.AddInt64(&l.stats.Backtracks, 1)
 		}
 	}
 
@@ -117,7 +119,7 @@ func (l *Learner) LearnRecursive(targets []Pred) (*Invariant, error) {
 				if l.failed[m.ID()] {
 					e.solved = false
 					e.abduct = nil
-					l.stats.Backtracks++
+					atomic.AddInt64(&l.stats.Backtracks, 1)
 					ok, err := solve(e.pred)
 					if err != nil {
 						return nil, err

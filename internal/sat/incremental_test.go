@@ -1,0 +1,176 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSelectorGuardedClause checks the MiniSat activation protocol: a
+// guarded clause constrains the formula only in Solve calls that assume
+// its selector.
+func TestSelectorGuardedClause(t *testing.T) {
+	s := New()
+	addVars(s, 2)
+	sel := s.NewSelector()
+	// sel → (x1), sel → (¬x2)
+	s.AddClause(sel.Not(), lit(1))
+	s.AddClause(sel.Not(), lit(-2))
+	// Unguarded query: both polarities of x1 are free.
+	if st := s.Solve(lit(-1)); st != Sat {
+		t.Fatalf("unguarded: got %v, want Sat", st)
+	}
+	// Guarded query: sel forces x1 true, so assuming ¬x1 is Unsat.
+	if st := s.Solve(sel, lit(-1)); st != Unsat {
+		t.Fatalf("guarded: got %v, want Unsat", st)
+	}
+	// The guard stays retractable: dropping the assumption re-frees x1.
+	if st := s.Solve(lit(-1)); st != Sat {
+		t.Fatalf("after guarded query: got %v, want Sat", st)
+	}
+}
+
+// TestReleasePinsSelectorFalse checks that Release permanently deactivates
+// a selector's clause group and that the solver stays usable.
+func TestReleasePinsSelectorFalse(t *testing.T) {
+	s := New()
+	addVars(s, 1)
+	sel := s.NewSelector()
+	s.AddClause(sel.Not(), lit(1))
+	s.Release(sel)
+	if s.Stats.Released != 1 {
+		t.Fatalf("Released = %d, want 1", s.Stats.Released)
+	}
+	// The released group no longer constrains anything...
+	if st := s.Solve(lit(-1)); st != Sat {
+		t.Fatalf("after release: got %v, want Sat", st)
+	}
+	// ...and the selector itself is pinned false.
+	if st := s.Solve(sel); st != Unsat {
+		t.Fatalf("assuming released selector: got %v, want Unsat", st)
+	}
+}
+
+// TestSimplifyDeletesSatisfiedClauses checks the level-0 GC: released
+// groups are physically removed from the clause database.
+func TestSimplifyDeletesSatisfiedClauses(t *testing.T) {
+	s := New()
+	addVars(s, 4)
+	sel := s.NewSelector()
+	s.AddClause(sel.Not(), lit(1), lit(2))
+	s.AddClause(sel.Not(), lit(3), lit(4))
+	s.AddClause(lit(1), lit(-2)) // unguarded, must survive
+	s.Release(sel)
+	s.Simplify()
+	if s.Stats.Deleted != 2 {
+		t.Fatalf("Deleted = %d, want 2 (the guarded clauses)", s.Stats.Deleted)
+	}
+	if s.Stats.Simplifies == 0 {
+		t.Fatal("Simplify did not run")
+	}
+	// The surviving clause still constrains the formula.
+	if st := s.Solve(lit(-1), lit(2)); st != Unsat {
+		t.Fatalf("surviving clause lost: got %v, want Unsat", st)
+	}
+	if st := s.Solve(lit(1)); st != Sat {
+		t.Fatalf("solver unusable after Simplify: got %v", st)
+	}
+}
+
+// TestReleaseAutoGC checks that crossing releaseGCThreshold triggers an
+// automatic Simplify pass.
+func TestReleaseAutoGC(t *testing.T) {
+	s := New()
+	addVars(s, 1)
+	for i := 0; i < releaseGCThreshold; i++ {
+		sel := s.NewSelector()
+		s.AddClause(sel.Not(), lit(1))
+		s.Release(sel)
+	}
+	if s.Stats.Simplifies == 0 {
+		t.Fatalf("expected an automatic Simplify after %d releases", releaseGCThreshold)
+	}
+	if s.Stats.Deleted == 0 {
+		t.Fatal("expected released clauses to be garbage-collected")
+	}
+}
+
+// TestSimplifyPreservesVerdicts cross-checks a long-lived solver with
+// interleaved guarded clauses, releases and Simplify calls against a fresh
+// solver re-encoding the live clauses per query.
+func TestSimplifyPreservesVerdicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(20250806))
+	const nVars = 8
+	type group struct {
+		sel     Lit
+		clauses [][]Lit
+	}
+	for round := 0; round < 30; round++ {
+		live := New()
+		addVars(live, nVars)
+		var groups []group
+		var hard [][]Lit
+
+		randClause := func() []Lit {
+			n := 1 + rng.Intn(3)
+			c := make([]Lit, 0, n)
+			for i := 0; i < n; i++ {
+				v := 1 + rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				c = append(c, lit(v))
+			}
+			return c
+		}
+
+		for step := 0; step < 40; step++ {
+			switch rng.Intn(5) {
+			case 0: // add a hard clause
+				c := randClause()
+				hard = append(hard, c)
+				live.AddClause(c...)
+			case 1: // add a guarded group
+				g := group{sel: live.NewSelector()}
+				for i := 0; i < 1+rng.Intn(2); i++ {
+					c := randClause()
+					g.clauses = append(g.clauses, c)
+					live.AddClause(append([]Lit{g.sel.Not()}, c...)...)
+				}
+				groups = append(groups, g)
+			case 2: // release a random group
+				if len(groups) > 0 {
+					i := rng.Intn(len(groups))
+					live.Release(groups[i].sel)
+					groups = append(groups[:i], groups[i+1:]...)
+				}
+			case 3:
+				live.Simplify()
+			default: // differential query over a random subset of groups
+				var assumps []Lit
+				ref := New()
+				addVars(ref, nVars)
+				refOK := true
+				for _, c := range hard {
+					refOK = ref.AddClause(c...) && refOK
+				}
+				for _, g := range groups {
+					if rng.Intn(2) == 0 {
+						continue
+					}
+					assumps = append(assumps, g.sel)
+					for _, c := range g.clauses {
+						refOK = ref.AddClause(c...) && refOK
+					}
+				}
+				want := Unsat
+				if refOK {
+					want = ref.Solve()
+				}
+				if got := live.Solve(assumps...); got != want {
+					t.Fatalf("round %d step %d: pooled solver %v, fresh solver %v",
+						round, step, got, want)
+				}
+			}
+		}
+	}
+}

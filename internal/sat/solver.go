@@ -15,6 +15,16 @@ type Stats struct {
 	Restarts     int64
 	Learnt       int64
 	Deleted      int64
+	// ClausesAdded counts AddClause calls accepted into the database
+	// (including units and clauses later simplified away) — the raw
+	// encode-work measure behind the incremental-backend ablation.
+	ClausesAdded int64
+	// VarsAdded counts allocated variables (monotone; equals NumVars).
+	VarsAdded int64
+	// Released counts selectors retracted via Release; Simplifies counts
+	// level-0 garbage-collection passes over the clause database.
+	Released   int64
+	Simplifies int64
 }
 
 type clauseRef int32
@@ -71,6 +81,10 @@ type Solver struct {
 	// unlimited. When the budget is exhausted Solve returns Unknown.
 	MaxConflicts int64
 
+	// releasedSinceGC counts Release calls since the last Simplify; when
+	// it crosses releaseGCThreshold the dead clauses are collected.
+	releasedSinceGC int
+
 	Stats Stats
 }
 
@@ -102,6 +116,7 @@ func (s *Solver) NumVars() int { return len(s.assigns) }
 // NewVar allocates a fresh variable.
 func (s *Solver) NewVar() Var {
 	v := Var(len(s.assigns))
+	s.Stats.VarsAdded++
 	s.assigns = append(s.assigns, lUndef)
 	s.polarity = append(s.polarity, true)
 	s.decision = append(s.decision, true)
@@ -138,6 +153,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	if s.decisionLevel() != 0 {
 		panic("sat: AddClause called above decision level 0")
 	}
+	s.Stats.ClausesAdded++
 	// Normalize: sort, remove duplicates, detect tautologies, drop literals
 	// already false at level 0, and succeed early if already satisfied.
 	ls := make([]Lit, len(lits))

@@ -16,7 +16,8 @@ import (
 // Options configure a VeloCT analysis.
 type Options struct {
 	// Learner configures H-Houdini (workers, core minimization, staged
-	// mining).
+	// mining, and the pooled incremental SAT backend vs. a fresh solver
+	// per abduction query).
 	Learner hhoudini.Options
 	// Examples configures positive example generation.
 	Examples ExampleConfig
@@ -26,7 +27,8 @@ type Options struct {
 }
 
 // DefaultOptions mirror the paper's configuration: sequential learner,
-// minimal cores, masking and annotations enabled.
+// minimal cores, pooled incremental solving, masking and annotations
+// enabled.
 func DefaultOptions() Options {
 	return Options{
 		Learner:  hhoudini.DefaultOptions(),
