@@ -1,9 +1,9 @@
 # Development targets. `make ci` is the gate: vet + build + race tests +
-# a 1-iteration smoke run of every benchmark.
+# a 1-iteration smoke run of every benchmark + the bench-json smoke.
 
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke bench ci
+.PHONY: all vet build test race bench-smoke bench bench-json ci
 
 all: build
 
@@ -28,4 +28,9 @@ bench-smoke:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
-ci: vet build race bench-smoke
+# Emit and self-check the cross-run cache benchmark document (CI artifact).
+bench-json:
+	$(GO) run ./cmd/benchjson -design execstage -runs 3 -out BENCH_crossrun.json
+	$(GO) run ./cmd/benchjson -check BENCH_crossrun.json
+
+ci: vet build race bench-smoke bench-json

@@ -250,6 +250,31 @@ func NewLearner(sys *System, mine MineOracle, opts LearnerOptions) *Learner {
 // DefaultLearnerOptions mirror the paper's configuration.
 func DefaultLearnerOptions() LearnerOptions { return core.DefaultOptions() }
 
+// VerifyCache is the cross-run verification cache: pooled solver/encoder
+// pairs, base-system learnt clauses and whole abduction verdicts shared
+// across Learner instances over the same system identity (circuit
+// fingerprint + environment-assumption key). CacheCounters snapshots its
+// effectiveness counters.
+type (
+	VerifyCache   = core.VerifyCache
+	CacheCounters = core.CacheCounters
+)
+
+// NewVerifyCache returns an empty cross-run cache with default bounds.
+// Pass it via LearnerOptions.Cache to isolate a workload from the shared
+// process-global cache.
+func NewVerifyCache() *VerifyCache { return core.NewVerifyCache() }
+
+// NewVerifyCacheWithBudget returns a cross-run cache whose retained
+// encoders are bounded by the given total encoded-clause budget.
+func NewVerifyCacheWithBudget(clauseBudget int64) *VerifyCache {
+	return core.NewVerifyCacheWithBudget(clauseBudget)
+}
+
+// SharedVerifyCache returns the process-global cross-run cache used by
+// default when LearnerOptions.CrossRunCache is on.
+func SharedVerifyCache() *VerifyCache { return core.SharedCache() }
+
 // Audit monolithically verifies a learned invariant (initiation,
 // consecution, property).
 func Audit(sys *System, inv *Invariant) error { return core.Audit(sys, inv) }

@@ -1,0 +1,167 @@
+package hhoudini_test
+
+// BenchmarkCrossRun* measures the cross-run verification cache — the
+// process-wide memoization of pooled solvers, base-system learnt clauses
+// and whole abduction verdicts across Learner instances. Each benchmark
+// contrasts a cold configuration (cache disabled: every Verify rebuilds
+// everything, the PR 1 behaviour) against a warm one (a private cache
+// pre-populated by one untimed verification of the same system).
+//
+//	go test -bench=BenchmarkCrossRun -benchmem
+//
+// The bench-json Make target distills the same contrast into
+// BENCH_crossrun.json via cmd/benchjson.
+
+import (
+	"testing"
+
+	hh "hhoudini"
+)
+
+func mustExecStage(b *testing.B) *hh.Target {
+	b.Helper()
+	t, err := hh.NewExecStage(hh.ExecStageConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+// crossRunTargets are the designs the cache sweep runs over: the Appendix C
+// execute stage (small, fast) and the in-order core (a realistic pipeline).
+func crossRunTargets(b *testing.B) []struct {
+	tgt  *hh.Target
+	safe []string
+} {
+	return []struct {
+		tgt  *hh.Target
+		safe []string
+	}{
+		{mustExecStage(b), []string{"add"}},
+		{mustInOrder(b), inOrderSafe()},
+	}
+}
+
+// BenchmarkCrossRunVerify times one full Verify of a fixed safe set, cold
+// vs. warm. Warm iterations check pooled solvers out of the cache, replay
+// learnt clauses and answer repeated abduction queries from the verdict
+// memo, so both the wall time and the enc-clauses metric drop sharply.
+func BenchmarkCrossRunVerify(b *testing.B) {
+	for _, tc := range crossRunTargets(b) {
+		tc := tc
+		b.Run(tc.tgt.Name+"/cold", func(b *testing.B) {
+			opts := hh.DefaultAnalysisOptions()
+			opts.Learner.CrossRunCache = false
+			a, err := hh.NewAnalysis(tc.tgt, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var clauses int64
+			for i := 0; i < b.N; i++ {
+				res, err := a.Verify(tc.safe)
+				if err != nil || res.Invariant == nil {
+					b.Fatalf("err=%v", err)
+				}
+				clauses += res.Stats.EncodedClauses
+			}
+			b.ReportMetric(float64(clauses)/float64(b.N), "enc-clauses")
+		})
+		b.Run(tc.tgt.Name+"/warm", func(b *testing.B) {
+			opts := hh.DefaultAnalysisOptions()
+			opts.Learner.Cache = hh.NewVerifyCache()
+			a, err := hh.NewAnalysis(tc.tgt, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Untimed warmup populates the private cache.
+			if res, err := a.Verify(tc.safe); err != nil || res.Invariant == nil {
+				b.Fatalf("warmup: err=%v", err)
+			}
+			b.ResetTimer()
+			var clauses, verdictHits int64
+			for i := 0; i < b.N; i++ {
+				res, err := a.Verify(tc.safe)
+				if err != nil || res.Invariant == nil {
+					b.Fatalf("err=%v", err)
+				}
+				clauses += res.Stats.EncodedClauses
+				verdictHits += res.Stats.CacheVerdictHits
+			}
+			b.ReportMetric(float64(clauses)/float64(b.N), "enc-clauses")
+			b.ReportMetric(float64(verdictHits)/float64(b.N), "verdict-hits")
+		})
+	}
+}
+
+// BenchmarkCrossRunSynthesize times full safe-set synthesis on the execute
+// stage with and without the cache. Synthesis is the cache's home turf:
+// attribute() and the final proof re-verify overlapping safe sets, and
+// every singleton probe shares the circuit fingerprint (only the EnvKey
+// changes), so pooled solvers and verdicts keep paying across the run.
+func BenchmarkCrossRunSynthesize(b *testing.B) {
+	tgt := mustExecStage(b)
+	for _, cached := range []bool{false, true} {
+		name := "cold"
+		if cached {
+			name = "warm"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := hh.DefaultAnalysisOptions()
+				if cached {
+					opts.Learner.Cache = hh.NewVerifyCache()
+				} else {
+					opts.Learner.CrossRunCache = false
+				}
+				a, err := hh.NewAnalysis(tgt, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				syn, err := a.Synthesize()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if syn.Result == nil || syn.Result.Invariant == nil {
+					b.Fatal("synthesis failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCrossRunMutatedSafeSets exercises the invalidation story: each
+// round verifies a different safe set (a different EnvKey, so pooled
+// solvers and verdicts must miss), while the circuit fingerprint — and with
+// it nothing unsound — is shared. Cold and warm must do the same solver
+// work per new key; the warm run's win is limited to repeats.
+func BenchmarkCrossRunMutatedSafeSets(b *testing.B) {
+	tgt := mustExecStage(b)
+	sets := [][]string{{"add"}, {}, {"add"}}
+	for _, cached := range []bool{false, true} {
+		name := "cold"
+		if cached {
+			name = "warm"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := hh.DefaultAnalysisOptions()
+			if cached {
+				opts.Learner.Cache = hh.NewVerifyCache()
+			} else {
+				opts.Learner.CrossRunCache = false
+			}
+			a, err := hh.NewAnalysis(tgt, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, safe := range sets {
+					if _, err := a.Verify(safe); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -45,6 +45,16 @@ func mustOoO(b *testing.B, v hh.OoOVariant) *hh.Target {
 	return t
 }
 
+// benchOpts are the default analysis options with the cross-run cache off:
+// these benchmarks pin per-run behaviour (every iteration a from-scratch
+// verification), and a cache warmed across b.N iterations would measure
+// hits instead. The BenchmarkCrossRun* family measures the cache itself.
+func benchOpts() hh.AnalysisOptions {
+	opts := hh.DefaultAnalysisOptions()
+	opts.Learner.CrossRunCache = false
+	return opts
+}
+
 func mustVerify(b *testing.B, tgt *hh.Target, safe []string, opts hh.AnalysisOptions) *hh.Result {
 	b.Helper()
 	a, err := hh.NewAnalysis(tgt, opts)
@@ -71,7 +81,7 @@ func BenchmarkTable1InvariantSize(b *testing.B) {
 		tgt, safe := mk(b)
 		b.Run(tgt.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := mustVerify(b, tgt, safe, hh.DefaultAnalysisOptions())
+				res := mustVerify(b, tgt, safe, benchOpts())
 				b.ReportMetric(float64(tgt.Circuit.NumStateBits()), "statebits")
 				b.ReportMetric(float64(res.Invariant.Size()), "invariant")
 			}
@@ -83,7 +93,7 @@ func BenchmarkTable1InvariantSize(b *testing.B) {
 // the in-order core (the per-instruction classification plus the proof).
 func BenchmarkTable2SafeSet(b *testing.B) {
 	tgt := mustInOrder(b)
-	a, err := hh.NewAnalysis(tgt, hh.DefaultAnalysisOptions())
+	a, err := hh.NewAnalysis(tgt, benchOpts())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -106,7 +116,7 @@ func BenchmarkFig2Parallelism(b *testing.B) {
 	tgt := mustOoO(b, hh.MediumOoO)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			opts := hh.DefaultAnalysisOptions()
+			opts := benchOpts()
 			opts.Learner.Workers = workers
 			for i := 0; i < b.N; i++ {
 				mustVerify(b, tgt, oooSafe(), opts)
@@ -128,7 +138,7 @@ func BenchmarkFig3Scaling(b *testing.B) {
 	}
 	for _, tgt := range targets {
 		b.Run(fmt.Sprintf("%s/bits=%d", tgt.Name, tgt.Circuit.NumStateBits()), func(b *testing.B) {
-			opts := hh.DefaultAnalysisOptions()
+			opts := benchOpts()
 			opts.Learner.Workers = 0 // all cores, the paper's fixed-cluster line
 			for i := 0; i < b.N; i++ {
 				mustVerify(b, tgt, safe[tgt.Name], opts)
@@ -144,7 +154,7 @@ func BenchmarkFig4QueryTime(b *testing.B) {
 		tgt := mustOoO(b, v)
 		b.Run(tgt.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := mustVerify(b, tgt, oooSafe(), hh.DefaultAnalysisOptions())
+				res := mustVerify(b, tgt, oooSafe(), benchOpts())
 				b.ReportMetric(float64(res.Stats.MedianQueryTime().Microseconds()), "query-us")
 				b.ReportMetric(float64(res.Stats.MedianTaskTime().Microseconds()), "task-us")
 			}
@@ -159,7 +169,7 @@ func BenchmarkFig5Backtracks(b *testing.B) {
 		tgt := mustOoO(b, v)
 		b.Run(tgt.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := mustVerify(b, tgt, oooSafe(), hh.DefaultAnalysisOptions())
+				res := mustVerify(b, tgt, oooSafe(), benchOpts())
 				b.ReportMetric(float64(res.Stats.Tasks), "tasks")
 				b.ReportMetric(float64(res.Stats.Backtracks), "backtracks")
 			}
@@ -172,7 +182,7 @@ func BenchmarkFig5Backtracks(b *testing.B) {
 // universe solved by H-Houdini vs. monolithic Houdini vs. Sorcar.
 func BenchmarkSpeedupVsBaselines(b *testing.B) {
 	tgt := mustOoO(b, hh.SmallOoO)
-	opts := hh.DefaultAnalysisOptions()
+	opts := benchOpts()
 	opts.Examples.RunsPerInstr = 1
 	opts.Examples.CompositionRuns = 0
 	a, err := hh.NewAnalysis(tgt, opts)
@@ -225,7 +235,7 @@ func BenchmarkAblationCoreMinimization(b *testing.B) {
 	tgt := mustOoO(b, hh.SmallOoO)
 	for _, min := range []bool{true, false} {
 		b.Run(fmt.Sprintf("minimize=%v", min), func(b *testing.B) {
-			opts := hh.DefaultAnalysisOptions()
+			opts := benchOpts()
 			opts.Learner.MinimizeCores = min
 			for i := 0; i < b.N; i++ {
 				res := mustVerify(b, tgt, oooSafe(), opts)
@@ -241,7 +251,7 @@ func BenchmarkAblationStagedMining(b *testing.B) {
 	tgt := mustOoO(b, hh.SmallOoO)
 	for _, staged := range []bool{false, true} {
 		b.Run(fmt.Sprintf("staged=%v", staged), func(b *testing.B) {
-			opts := hh.DefaultAnalysisOptions()
+			opts := benchOpts()
 			opts.Learner.StagedMining = staged
 			for i := 0; i < b.N; i++ {
 				res := mustVerify(b, tgt, oooSafe(), opts)
@@ -266,7 +276,7 @@ func BenchmarkAblationIncrementalSolver(b *testing.B) {
 	for _, examples := range []string{"rich", "weak"} {
 		for _, inc := range []bool{true, false} {
 			b.Run(fmt.Sprintf("examples=%s/incremental=%v", examples, inc), func(b *testing.B) {
-				opts := hh.DefaultAnalysisOptions()
+				opts := benchOpts()
 				opts.Learner.IncrementalSolver = inc
 				if examples == "weak" {
 					opts.Examples.RunsPerInstr = 1
@@ -290,12 +300,12 @@ func BenchmarkAblationIncrementalSolver(b *testing.B) {
 func BenchmarkAblationExampleFiltering(b *testing.B) {
 	tgt := mustOoO(b, hh.SmallOoO)
 	configs := map[string]hh.ExampleConfig{
-		"rich": hh.DefaultAnalysisOptions().Examples,
+		"rich": benchOpts().Examples,
 		"weak": {Seed: 1, RunsPerInstr: 1, DirtyPreamble: true},
 	}
 	for name, cfg := range configs {
 		b.Run(name, func(b *testing.B) {
-			opts := hh.DefaultAnalysisOptions()
+			opts := benchOpts()
 			opts.Examples = cfg
 			for i := 0; i < b.N; i++ {
 				res := mustVerify(b, tgt, oooSafe(), opts)
@@ -310,7 +320,7 @@ func BenchmarkAblationExampleFiltering(b *testing.B) {
 // ablation; the verification itself returns None).
 func BenchmarkAblationExampleMasking(b *testing.B) {
 	tgt := mustOoO(b, hh.SmallOoO)
-	opts := hh.DefaultAnalysisOptions()
+	opts := benchOpts()
 	opts.Examples.DisableMasking = true
 	a, err := hh.NewAnalysis(tgt, opts)
 	if err != nil {
@@ -334,7 +344,7 @@ func BenchmarkAblationExampleMasking(b *testing.B) {
 // of the miter'd ExecStage outputs.
 func BenchmarkAblationMemoization(b *testing.B) {
 	tgt := mustOoO(b, hh.SmallOoO)
-	a, err := hh.NewAnalysis(tgt, hh.DefaultAnalysisOptions())
+	a, err := hh.NewAnalysis(tgt, benchOpts())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -349,9 +359,11 @@ func BenchmarkAblationMemoization(b *testing.B) {
 		hh.EqPred{Reg: "retire_valid"},
 		hh.EqPred{Reg: "rob_head"},
 	}
+	lopts := hh.DefaultLearnerOptions()
+	lopts.CrossRunCache = false // isolate the shared-vs-separate contrast
 	b.Run("shared", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			l := hh.NewLearner(sys, miner, hh.DefaultLearnerOptions())
+			l := hh.NewLearner(sys, miner, lopts)
 			inv, err := l.Learn(targets)
 			if err != nil || inv == nil {
 				b.Fatalf("err=%v", err)
@@ -363,7 +375,7 @@ func BenchmarkAblationMemoization(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			var tasks int64
 			for _, t := range targets {
-				l := hh.NewLearner(sys, miner, hh.DefaultLearnerOptions())
+				l := hh.NewLearner(sys, miner, lopts)
 				inv, err := l.Learn([]hh.Pred{t})
 				if err != nil || inv == nil {
 					b.Fatalf("err=%v", err)

@@ -1,0 +1,238 @@
+// Command benchjson distills the cross-run cache benchmark into a small
+// machine-readable JSON file (BENCH_crossrun.json) for CI tracking: it runs
+// N verifications of a fixed safe set cold (cache disabled) and N warm (one
+// private cache shared across the runs, first run untimed as warmup) and
+// reports wall time and encode work for both, plus the derived reduction
+// percentages.
+//
+//	benchjson -design execstage -runs 3 -out BENCH_crossrun.json
+//	benchjson -check BENCH_crossrun.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	hh "hhoudini"
+)
+
+const schema = "hhoudini-bench-crossrun/v1"
+
+var (
+	flagDesign = flag.String("design", "execstage", "design: execstage|inorder|small|medium|large|mega")
+	flagSafe   = flag.String("safe", "", "comma-separated safe set (default: per-design)")
+	flagRuns   = flag.Int("runs", 3, "timed verifications per configuration")
+	flagOut    = flag.String("out", "BENCH_crossrun.json", "output path (\"-\" = stdout)")
+	flagCheck  = flag.String("check", "", "validate an existing bench JSON file and exit")
+)
+
+// report is the emitted document.
+type report struct {
+	Schema string   `json:"schema"`
+	Design string   `json:"design"`
+	Safe   []string `json:"safe"`
+	Runs   int      `json:"runs"`
+
+	ColdWallMs       []float64 `json:"cold_wall_ms"`
+	WarmWallMs       []float64 `json:"warm_wall_ms"`
+	ColdEncClauses   []int64   `json:"cold_encoded_clauses"`
+	WarmEncClauses   []int64   `json:"warm_encoded_clauses"`
+	WarmVerdictHits  int64     `json:"warm_verdict_hits"`
+	WarmEncoderHits  int64     `json:"warm_encoder_hits"`
+	WarmReplayed     int64     `json:"warm_clauses_replayed"`
+	WallReductionPct float64   `json:"wall_reduction_pct"`
+	EncReductionPct  float64   `json:"encoded_clause_reduction_pct"`
+}
+
+func main() {
+	flag.Parse()
+	if *flagCheck != "" {
+		check(*flagCheck)
+		return
+	}
+	rep := run()
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	out = append(out, '\n')
+	if *flagOut == "-" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(*flagOut, out, 0o644); err != nil {
+		die(err)
+	}
+	fmt.Printf("benchjson: %s: wall -%.1f%%, encoded clauses -%.1f%% (warm vs cold, %d runs)\n",
+		*flagOut, rep.WallReductionPct, rep.EncReductionPct, rep.Runs)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+func buildDesign(name string) *hh.Target {
+	var (
+		tgt *hh.Target
+		err error
+	)
+	switch strings.ToLower(name) {
+	case "execstage":
+		tgt, err = hh.NewExecStage(hh.ExecStageConfig{})
+	case "inorder", "rocket":
+		tgt, err = hh.NewInOrder()
+	case "small":
+		tgt, err = hh.NewOoO(hh.SmallOoO)
+	case "medium":
+		tgt, err = hh.NewOoO(hh.MediumOoO)
+	case "large":
+		tgt, err = hh.NewOoO(hh.LargeOoO)
+	case "mega":
+		tgt, err = hh.NewOoO(hh.MegaOoO)
+	default:
+		err = fmt.Errorf("unknown design %q", name)
+	}
+	if err != nil {
+		die(err)
+	}
+	return tgt
+}
+
+func defaultSafe(design string) []string {
+	if strings.EqualFold(design, "execstage") {
+		return []string{"add"}
+	}
+	safe := []string{
+		"add", "addi", "sub", "xor", "xori", "and", "andi", "or", "ori",
+		"sll", "slli", "srl", "srli", "sra", "srai",
+		"lui", "slt", "slti", "sltu", "sltiu",
+	}
+	if strings.EqualFold(design, "inorder") || strings.EqualFold(design, "rocket") {
+		return append(safe, "auipc")
+	}
+	return append(safe, "mul", "mulh", "mulhu", "mulhsu")
+}
+
+func run() *report {
+	tgt := buildDesign(*flagDesign)
+	safe := defaultSafe(*flagDesign)
+	if *flagSafe != "" {
+		safe = strings.Split(*flagSafe, ",")
+		for i := range safe {
+			safe[i] = strings.TrimSpace(safe[i])
+		}
+	}
+	rep := &report{Schema: schema, Design: tgt.Name, Safe: safe, Runs: *flagRuns}
+
+	verify := func(a *hh.Analysis) *hh.Result {
+		res, err := a.Verify(safe)
+		if err != nil {
+			die(err)
+		}
+		if res.Invariant == nil {
+			die(fmt.Errorf("%s: verification failed: %s", tgt.Name, res.Reason))
+		}
+		return res
+	}
+
+	coldOpts := hh.DefaultAnalysisOptions()
+	coldOpts.Learner.CrossRunCache = false
+	aCold, err := hh.NewAnalysis(tgt, coldOpts)
+	if err != nil {
+		die(err)
+	}
+	for i := 0; i < *flagRuns; i++ {
+		start := time.Now()
+		res := verify(aCold)
+		rep.ColdWallMs = append(rep.ColdWallMs, float64(time.Since(start).Microseconds())/1000)
+		rep.ColdEncClauses = append(rep.ColdEncClauses, res.Stats.EncodedClauses)
+	}
+
+	warmOpts := hh.DefaultAnalysisOptions()
+	warmOpts.Learner.Cache = hh.NewVerifyCache()
+	aWarm, err := hh.NewAnalysis(tgt, warmOpts)
+	if err != nil {
+		die(err)
+	}
+	verify(aWarm) // untimed warmup populates the cache
+	for i := 0; i < *flagRuns; i++ {
+		start := time.Now()
+		res := verify(aWarm)
+		rep.WarmWallMs = append(rep.WarmWallMs, float64(time.Since(start).Microseconds())/1000)
+		rep.WarmEncClauses = append(rep.WarmEncClauses, res.Stats.EncodedClauses)
+		rep.WarmVerdictHits += res.Stats.CacheVerdictHits
+		rep.WarmEncoderHits += res.Stats.CacheEncoderHits
+		rep.WarmReplayed += res.Stats.CacheClausesReplayed
+	}
+
+	rep.WallReductionPct = reduction(sumF(rep.ColdWallMs), sumF(rep.WarmWallMs))
+	rep.EncReductionPct = reduction(float64(sumI(rep.ColdEncClauses)), float64(sumI(rep.WarmEncClauses)))
+	return rep
+}
+
+func sumF(xs []float64) (s float64) {
+	for _, x := range xs {
+		s += x
+	}
+	return
+}
+
+func sumI(xs []int64) (s int64) {
+	for _, x := range xs {
+		s += x
+	}
+	return
+}
+
+func reduction(cold, warm float64) float64 {
+	if cold <= 0 {
+		return 0
+	}
+	return 100 * (cold - warm) / cold
+}
+
+// check validates the schema and internal consistency of an emitted file —
+// the CI smoke for the bench-json target.
+func check(path string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		die(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		die(fmt.Errorf("%s: %w", path, err))
+	}
+	fail := func(format string, args ...any) {
+		die(fmt.Errorf("%s: %s", path, fmt.Sprintf(format, args...)))
+	}
+	if rep.Schema != schema {
+		fail("schema %q, want %q", rep.Schema, schema)
+	}
+	if rep.Runs <= 0 {
+		fail("runs = %d", rep.Runs)
+	}
+	for name, n := range map[string]int{
+		"cold_wall_ms":         len(rep.ColdWallMs),
+		"warm_wall_ms":         len(rep.WarmWallMs),
+		"cold_encoded_clauses": len(rep.ColdEncClauses),
+		"warm_encoded_clauses": len(rep.WarmEncClauses),
+	} {
+		if n != rep.Runs {
+			fail("%s has %d entries, want %d", name, n, rep.Runs)
+		}
+	}
+	if c := sumI(rep.ColdEncClauses); c <= 0 {
+		fail("cold encoded clauses = %d, want > 0", c)
+	}
+	if sumI(rep.WarmEncClauses) > sumI(rep.ColdEncClauses) {
+		fail("warm runs encoded more clauses than cold (%d > %d)",
+			sumI(rep.WarmEncClauses), sumI(rep.ColdEncClauses))
+	}
+	fmt.Printf("benchjson: %s OK (%s, wall -%.1f%%, encoded clauses -%.1f%%)\n",
+		path, rep.Design, rep.WallReductionPct, rep.EncReductionPct)
+}

@@ -38,6 +38,7 @@ var (
 	flagSpeedup   = flag.Bool("speedup", false, "H-Houdini vs. monolithic baselines")
 	flagAudit     = flag.Bool("audit", false, "monolithic audit of learned invariants")
 	flagAblations = flag.Bool("ablations", false, "design-choice ablations")
+	flagCrossRun  = flag.Bool("crossrun", false, "cross-run cache sweep: repeated verification cold vs. warm")
 	flagAll       = flag.Bool("all", false, "run everything")
 	flagQuick     = flag.Bool("quick", false, "restrict sweeps to small variants")
 )
@@ -45,7 +46,7 @@ var (
 func main() {
 	flag.Parse()
 	any := *flagTable1 || *flagTable2 || *flagFig2 || *flagFig3 || *flagFig4 ||
-		*flagFig5 || *flagSpeedup || *flagAudit || *flagAblations || *flagAll
+		*flagFig5 || *flagSpeedup || *flagAudit || *flagAblations || *flagCrossRun || *flagAll
 	if !any {
 		flag.Usage()
 		os.Exit(2)
@@ -76,6 +77,9 @@ func main() {
 	}
 	if *flagAll || *flagAblations {
 		ablations()
+	}
+	if *flagAll || *flagCrossRun {
+		crossrun()
 	}
 }
 
@@ -120,6 +124,13 @@ func safeSetFor(t *hh.Target) []string {
 }
 
 func verify(t *hh.Target, opts hh.AnalysisOptions) (*hh.Analysis, *hh.Result) {
+	// Every figure/table run gets a private, cold cross-run cache: the cache
+	// code path stays exercised, but no run inherits another's solver state,
+	// keeping the sweep's timings comparable (the crossrun sweep measures
+	// warm-cache behaviour explicitly).
+	if opts.Learner.CrossRunCache && opts.Learner.Cache == nil {
+		opts.Learner.Cache = hh.NewVerifyCache()
+	}
 	a, err := hh.NewAnalysis(t, opts)
 	if err != nil {
 		die(err)
@@ -265,6 +276,7 @@ func speedup() {
 		opts := hh.DefaultAnalysisOptions()
 		opts.Examples.RunsPerInstr = 1
 		opts.Examples.CompositionRuns = 0
+		opts.Learner.Cache = hh.NewVerifyCache() // cold per run; see verify()
 		a, err := hh.NewAnalysis(t, opts)
 		if err != nil {
 			die(err)
@@ -336,6 +348,11 @@ func ablations() {
 	}
 	safe := safeSetFor(tgt)
 	run := func(name string, opts hh.AnalysisOptions) {
+		// Isolate each row from the others (cold private cache) so rows are
+		// comparable; the dedicated rows below measure the cache itself.
+		if opts.Learner.CrossRunCache && opts.Learner.Cache == nil {
+			opts.Learner.Cache = hh.NewVerifyCache()
+		}
 		a, err := hh.NewAnalysis(tgt, opts)
 		if err != nil {
 			die(err)
@@ -376,6 +393,25 @@ func ablations() {
 	run("fresh solver per query (no pooling)", o)
 
 	o = hh.DefaultAnalysisOptions()
+	o.Learner.CrossRunCache = false
+	run("no cross-run cache (cold run)", o)
+
+	// Warm cross-run cache: verify once into a private cache, then measure a
+	// second, fully warmed verification of the same system.
+	o = hh.DefaultAnalysisOptions()
+	o.Learner.Cache = hh.NewVerifyCache()
+	{
+		a, err := hh.NewAnalysis(tgt, o)
+		if err != nil {
+			die(err)
+		}
+		if res, err := a.Verify(safe); err != nil || res.Invariant == nil {
+			die(fmt.Errorf("cross-run warmup failed: %v", err))
+		}
+	}
+	run("warm cross-run cache (2nd run)", o)
+
+	o = hh.DefaultAnalysisOptions()
 	o.Examples.RunsPerInstr = 1
 	o.Examples.CompositionRuns = 0
 	run("weak examples (no compositions)", o)
@@ -391,4 +427,72 @@ func ablations() {
 	o = hh.DefaultAnalysisOptions()
 	o.Learner.Workers = runtime.GOMAXPROCS(0)
 	run(fmt.Sprintf("parallel (workers=%d)", runtime.GOMAXPROCS(0)), o)
+}
+
+// crossrun measures the cross-run verification cache on the workload it was
+// built for: re-verifying the same (or a slightly mutated) safe set many
+// times, as safe-set synthesis and CI-style re-checks do. For each design
+// it runs N verifications cold (cache disabled) and N warm (one private
+// cache shared across the runs) and reports wall time, encode work and how
+// the cache answered.
+func crossrun() {
+	header("Cross-run cache: repeated verification, cold vs. warm")
+	const rounds = 3
+	fmt.Printf("%-12s %5s %12s %12s %14s %14s %10s %10s\n",
+		"Target", "runs", "cold(s)", "warm(s)", "cold-clauses", "warm-clauses", "enc-hits", "verdicts")
+	targets := evalTargets(*flagQuick)
+	if *flagQuick {
+		targets = targets[:1]
+	}
+	for _, t := range targets {
+		safe := safeSetFor(t)
+
+		coldOpts := hh.DefaultAnalysisOptions()
+		coldOpts.Learner.CrossRunCache = false
+		aCold, err := hh.NewAnalysis(t, coldOpts)
+		if err != nil {
+			die(err)
+		}
+		var coldWall time.Duration
+		var coldClauses int64
+		for i := 0; i < rounds; i++ {
+			start := time.Now()
+			res, err := aCold.Verify(safe)
+			if err != nil {
+				die(err)
+			}
+			coldWall += time.Since(start)
+			if res.Invariant == nil {
+				die(fmt.Errorf("%s: cold verification failed: %s", t.Name, res.Reason))
+			}
+			coldClauses += res.Stats.EncodedClauses
+		}
+
+		warmOpts := hh.DefaultAnalysisOptions()
+		warmOpts.Learner.Cache = hh.NewVerifyCache()
+		aWarm, err := hh.NewAnalysis(t, warmOpts)
+		if err != nil {
+			die(err)
+		}
+		var warmWall time.Duration
+		var warmClauses, encHits, verdictHits int64
+		for i := 0; i < rounds; i++ {
+			start := time.Now()
+			res, err := aWarm.Verify(safe)
+			if err != nil {
+				die(err)
+			}
+			warmWall += time.Since(start)
+			if res.Invariant == nil {
+				die(fmt.Errorf("%s: warm verification failed: %s", t.Name, res.Reason))
+			}
+			warmClauses += res.Stats.EncodedClauses
+			encHits += res.Stats.CacheEncoderHits
+			verdictHits += res.Stats.CacheVerdictHits
+		}
+
+		fmt.Printf("%-12s %5d %12.2f %12.2f %14d %14d %10d %10d\n",
+			t.Name, rounds, coldWall.Seconds(), warmWall.Seconds(),
+			coldClauses, warmClauses, encHits, verdictHits)
+	}
 }

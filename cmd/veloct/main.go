@@ -29,6 +29,7 @@ var (
 	flagSynthesize = flag.Bool("synthesize", false, "synthesize the safe set instead of verifying one")
 	flagWorkers    = flag.Int("workers", 1, "parallel learner workers (0 = GOMAXPROCS)")
 	flagIncr       = flag.Bool("incremental", true, "pooled incremental SAT backend (false: fresh solver per abduction query)")
+	flagCache      = flag.Bool("cache", true, "cross-run verification cache: share pooled solvers, learnt clauses and verdicts across Verify calls")
 	flagShowInv    = flag.Bool("show-invariant", false, "print every predicate of the learned invariant")
 	flagAudit      = flag.Bool("audit", true, "monolithically re-verify the learned invariant")
 	flagSeed       = flag.Int64("seed", 1, "example-generation seed")
@@ -46,6 +47,7 @@ func main() {
 	opts := hh.DefaultAnalysisOptions()
 	opts.Learner.Workers = *flagWorkers
 	opts.Learner.IncrementalSolver = *flagIncr
+	opts.Learner.CrossRunCache = *flagCache
 	opts.Examples.Seed = *flagSeed
 	analysis, err := hh.NewAnalysis(tgt, opts)
 	if err != nil {
@@ -139,6 +141,14 @@ func report(a *hh.Analysis, res *hh.Result, elapsed time.Duration) {
 		fmt.Printf("  solvers=%d pool-reuses=%d encoded gates=%d clauses=%d\n",
 			res.Stats.SolverAllocs, res.Stats.PoolReuses,
 			res.Stats.EncodedGates, res.Stats.EncodedClauses)
+		if *flagCache {
+			fmt.Printf("  cache: enc hit/miss=%d/%d verdict-hits=%d clauses replayed/exported=%d/%d evictions=%d\n",
+				res.Stats.CacheEncoderHits, res.Stats.CacheEncoderMisses,
+				res.Stats.CacheVerdictHits,
+				res.Stats.CacheClausesReplayed, res.Stats.CacheClausesExported,
+				res.Stats.CacheEvictions)
+			fmt.Printf("  %s\n", hh.SharedVerifyCache())
+		}
 		fmt.Printf("  median query %v, median task %v, p95 task %v\n",
 			res.Stats.MedianQueryTime().Round(time.Microsecond),
 			res.Stats.MedianTaskTime().Round(time.Microsecond),

@@ -21,6 +21,9 @@ func execStageVerify(t *testing.T, incremental bool, workers int) (*hh.Analysis,
 	opts := hh.DefaultAnalysisOptions()
 	opts.Learner.IncrementalSolver = incremental
 	opts.Learner.Workers = workers
+	// This test pins the PR 1 per-Learn pooling accounting; the cross-run
+	// cache would legitimately blur it (verdict hits issue no queries).
+	opts.Learner.CrossRunCache = false
 	a, err := hh.NewAnalysis(tgt, opts)
 	if err != nil {
 		t.Fatal(err)

@@ -36,6 +36,8 @@ type Circuit struct {
 
 	supports map[string][]string // memoized per-register 1-step COI
 	supMu    sync.Mutex
+
+	fpState // memoized structural fingerprint (see fingerprint.go)
 }
 
 // NumNodes returns the number of AIG nodes (including constants and leaves).

@@ -39,15 +39,40 @@ type abductResult struct {
 // rather than destructive unit clauses. The fresh backend re-encodes
 // everything into a brand-new solver per query — the monolithic-restart
 // behaviour the paper contrasts against, kept for the ablation benches.
+// When a cross-run cache is attached, the whole query is additionally
+// memoized by (target, candidate set, minimize flag): predicate IDs are
+// canonical within one system identity, so an identical query re-issued by
+// a later Learner — the common case in safe-set synthesis, which re-runs
+// Verify after every mutation that leaves most cones untouched — is
+// answered without touching a solver. A memoized abduct is one the solver
+// really returned for this exact query on this exact system, so replaying
+// it preserves soundness; it may differ from what a fresh solver would
+// return now (cores are not unique), which is the same latitude the solver
+// itself already has.
 func (l *Learner) abduct(target Pred, cands []Pred, pool *encoderPool) (abductResult, error) {
 	start := time.Now()
 	defer func() {
 		l.stats.recordQuery(time.Since(start))
 	}()
-	if l.opts.IncrementalSolver && pool != nil {
-		return l.abductIncremental(target, cands, pool)
+	var vk verdictKey
+	if l.cache != nil {
+		vk = verdictKeyFor(target, cands, l.opts.MinimizeCores)
+		if res, ok := l.cache.lookupVerdict(l.cacheKey, vk, target, cands); ok {
+			atomic.AddInt64(&l.stats.CacheVerdictHits, 1)
+			return res, nil
+		}
 	}
-	return l.abductFresh(target, cands)
+	var res abductResult
+	var err error
+	if l.opts.IncrementalSolver && pool != nil {
+		res, err = l.abductIncremental(target, cands, pool)
+	} else {
+		res, err = l.abductFresh(target, cands)
+	}
+	if err == nil && l.cache != nil {
+		l.cache.storeVerdict(l.cacheKey, vk, res)
+	}
+	return res, err
 }
 
 // abductFresh is the fresh-solver backend: one new solver and a from-
@@ -146,6 +171,11 @@ func (l *Learner) abductIncremental(target Pred, cands []Pred, pool *encoderPool
 		assumps = append(assumps, s)
 		bySel[s] = p
 	}
+
+	// With every encoding for this query in place (and thus every canonical
+	// name this solver will ever know for it), pull in any base-system
+	// learnt clauses other solvers of the same identity have derived.
+	pool.replayLearnts(pe)
 
 	st, core := pe.enc.S.SolveWithCore(assumps)
 	switch st {

@@ -1,0 +1,477 @@
+package hhoudini
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hhoudini/internal/circuit"
+)
+
+// VerifyCache is the process-wide, concurrency-safe verification cache that
+// outlives individual Learners. PR 1 made abduction incremental *within*
+// one Learn call; this extends the paper's "small, incremental, memoizable"
+// argument (§3.2) one level up, across Learner instances: safe-set
+// synthesis and the experiment sweeps re-verify near-identical systems many
+// times, and almost all of the solver work they rebuild is a pure function
+// of the system identity.
+//
+// The cache is keyed at the top level by System.CacheKey — the circuit's
+// structural fingerprint combined with the environment-assumption identity
+// (EnvKey). Changing the safe set changes the EnvKey, so stale entries can
+// never be consulted; that is the whole invalidation story, by
+// construction. Under each key three layers of reuse live side by side:
+//
+//  1. pooled solver/encoder pairs, checked in at Learner retirement and
+//     checked out (single-owner) by later Learners over the same system —
+//     the cone encodings, predicate encodings, candidate selectors and the
+//     solver's learnt clauses all survive;
+//  2. a learnt-clause store holding base-system clauses (sat.Solver
+//     ExportLearnts) in canonical named form, replayed into fresh or
+//     pooled solvers of the same identity;
+//  3. a verdict memo for whole relative-induction queries:
+//     (target, candidate-set signature, minimize flag) → SAT/UNSAT + core,
+//     which lets repeated Synthesize re-verification skip entire queries.
+//
+// Memory is bounded: cached encoders are evicted LRU once their summed
+// encoded-clause footprint exceeds the budget (their learnt clauses are
+// exported to the store first, so eviction degrades gracefully), the
+// clause store and verdict memo are capped per key, and whole keys are
+// evicted LRU beyond maxKeys.
+type VerifyCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	useSeq  uint64 // global LRU clock
+
+	clauseBudget int64 // max summed encoded clauses across cached encoders
+	maxKeys      int
+	maxStore     int // max clauses in one key's clause store
+	maxVerdicts  int // max verdict memo entries per key
+
+	// Process-lifetime counters (atomics; see Counters).
+	encoderHits   int64
+	encoderMisses int64
+	checkins      int64
+	evictions     int64
+	verdictHits   int64
+	verdictMisses int64
+	clausesStored int64
+	replayed      int64
+}
+
+// Default sizing. The evaluated designs encode a few hundred to a few
+// thousand clauses per pooled solver; a 4M-clause budget keeps every cone
+// of a MegaOoO-scale sweep warm while bounding worst-case memory.
+const (
+	DefaultCacheClauseBudget = 4 << 20
+	defaultCacheMaxKeys      = 32
+	defaultCacheMaxStore     = 4096
+	defaultCacheMaxVerdicts  = 1 << 16
+	// exportMaxLen caps the length of learnt clauses admitted to the
+	// clause store; long clauses rarely prune search enough to repay
+	// replay cost.
+	exportMaxLen = 8
+)
+
+type cacheEntry struct {
+	lastUse  uint64
+	encoders map[uint64]*cachedEncoder // cone key → retired pooled encoder
+
+	clauses   []storedClause
+	clauseSet map[string]struct{}
+
+	verdicts map[verdictKey]verdictVal
+}
+
+type cachedEncoder struct {
+	pe      *pooledEncoder
+	size    int64 // encoded clauses at check-in (budget accounting)
+	lastUse uint64
+}
+
+type storedClause struct {
+	lits []circuit.NamedLit
+}
+
+// verdictKey identifies one abduction query up to semantics: the target,
+// the candidate set (order-independent) and the core-minimization flag.
+// Two independent 64-bit FNV hashes make accidental collisions — which
+// would be unsound, unlike cone-key collisions — astronomically unlikely.
+type verdictKey struct{ a, b uint64 }
+
+type verdictVal struct {
+	ok    bool
+	preds []string // abduct member IDs (all drawn from the query's candidates)
+}
+
+// NewVerifyCache returns an empty cache with default bounds.
+func NewVerifyCache() *VerifyCache {
+	return NewVerifyCacheWithBudget(DefaultCacheClauseBudget)
+}
+
+// NewVerifyCacheWithBudget returns an empty cache whose pooled encoders
+// are bounded by the given total encoded-clause budget (≤0 disables
+// encoder caching entirely; the clause store and verdict memo still work).
+func NewVerifyCacheWithBudget(clauseBudget int64) *VerifyCache {
+	return &VerifyCache{
+		entries:      make(map[string]*cacheEntry),
+		clauseBudget: clauseBudget,
+		maxKeys:      defaultCacheMaxKeys,
+		maxStore:     defaultCacheMaxStore,
+		maxVerdicts:  defaultCacheMaxVerdicts,
+	}
+}
+
+// sharedCache is the process-global instance used when Options.CrossRunCache
+// is on and no explicit Options.Cache is supplied.
+var sharedCache = NewVerifyCache()
+
+// SharedCache returns the process-global verification cache.
+func SharedCache() *VerifyCache { return sharedCache }
+
+// CacheCounters is a snapshot of cache effectiveness counters.
+type CacheCounters struct {
+	EncoderHits   int64 // pooled encoders served to a new Learner
+	EncoderMisses int64 // checkout attempts that found no cached encoder
+	Checkins      int64 // encoders retired into the cache
+	Evictions     int64 // encoders dropped by LRU/budget pressure
+	VerdictHits   int64 // whole abduction queries answered from the memo
+	VerdictMisses int64
+	ClausesStored int64 // learnt clauses admitted to clause stores
+	Replayed      int64 // learnt clauses replayed into solvers
+}
+
+// Counters returns a point-in-time snapshot of the cache counters.
+func (vc *VerifyCache) Counters() CacheCounters {
+	return CacheCounters{
+		EncoderHits:   atomic.LoadInt64(&vc.encoderHits),
+		EncoderMisses: atomic.LoadInt64(&vc.encoderMisses),
+		Checkins:      atomic.LoadInt64(&vc.checkins),
+		Evictions:     atomic.LoadInt64(&vc.evictions),
+		VerdictHits:   atomic.LoadInt64(&vc.verdictHits),
+		VerdictMisses: atomic.LoadInt64(&vc.verdictMisses),
+		ClausesStored: atomic.LoadInt64(&vc.clausesStored),
+		Replayed:      atomic.LoadInt64(&vc.replayed),
+	}
+}
+
+// String renders the counters for tool output.
+func (vc *VerifyCache) String() string {
+	c := vc.Counters()
+	return fmt.Sprintf(
+		"verify-cache{enc hit/miss %d/%d, checkins %d, evictions %d, verdict hit/miss %d/%d, clauses stored/replayed %d/%d}",
+		c.EncoderHits, c.EncoderMisses, c.Checkins, c.Evictions,
+		c.VerdictHits, c.VerdictMisses, c.ClausesStored, c.Replayed)
+}
+
+// Reset drops every cached entry (counters are preserved). Intended for
+// tests and long-lived services that change workloads.
+func (vc *VerifyCache) Reset() {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	vc.entries = make(map[string]*cacheEntry)
+}
+
+// entryLocked returns (creating if needed) the entry for key and touches
+// its LRU clock. Caller holds vc.mu.
+func (vc *VerifyCache) entryLocked(key string) *cacheEntry {
+	e, ok := vc.entries[key]
+	if !ok {
+		e = &cacheEntry{
+			encoders:  make(map[uint64]*cachedEncoder),
+			clauseSet: make(map[string]struct{}),
+			verdicts:  make(map[verdictKey]verdictVal),
+		}
+		vc.entries[key] = e
+		vc.evictKeysLocked()
+	}
+	vc.useSeq++
+	e.lastUse = vc.useSeq
+	return e
+}
+
+// evictKeysLocked drops whole least-recently-used keys beyond maxKeys.
+func (vc *VerifyCache) evictKeysLocked() {
+	for len(vc.entries) > vc.maxKeys {
+		var victim string
+		var oldest uint64 = ^uint64(0)
+		for k, e := range vc.entries {
+			if e.lastUse < oldest {
+				oldest, victim = e.lastUse, k
+			}
+		}
+		e := vc.entries[victim]
+		atomic.AddInt64(&vc.evictions, int64(len(e.encoders)))
+		delete(vc.entries, victim)
+	}
+}
+
+// --- Pooled-encoder checkout / check-in -------------------------------------
+
+// checkout removes and returns the cached encoder for (key, cone), or nil.
+// Removal preserves the single-owner invariant: a pooled solver is never
+// shared between two live workers.
+func (vc *VerifyCache) checkout(key string, cone uint64) *pooledEncoder {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	e, ok := vc.entries[key]
+	if !ok {
+		atomic.AddInt64(&vc.encoderMisses, 1)
+		return nil
+	}
+	vc.useSeq++
+	e.lastUse = vc.useSeq
+	ce, ok := e.encoders[cone]
+	if !ok {
+		atomic.AddInt64(&vc.encoderMisses, 1)
+		return nil
+	}
+	delete(e.encoders, cone)
+	atomic.AddInt64(&vc.encoderHits, 1)
+	return ce.pe
+}
+
+// checkin retires a pooled encoder into the cache at Learner shutdown. Its
+// exportable learnt clauses are harvested into the clause store first, so
+// even when the encoder itself is dropped (slot occupied, or budget
+// pressure evicts it) the derived facts survive. stats may be nil.
+func (vc *VerifyCache) checkin(key string, cone uint64, pe *pooledEncoder, stats *Stats) {
+	exported := pe.enc.ExportNamedLearnts(exportMaxLen)
+
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	e := vc.entryLocked(key)
+
+	stored := 0
+	for _, cl := range exported {
+		if e.addClauseLocked(cl, vc.maxStore) {
+			stored++
+		}
+	}
+	atomic.AddInt64(&vc.clausesStored, int64(stored))
+	if stats != nil {
+		atomic.AddInt64(&stats.CacheClausesExported, int64(stored))
+	}
+
+	atomic.AddInt64(&vc.checkins, 1)
+	if vc.clauseBudget <= 0 {
+		return
+	}
+	if _, occupied := e.encoders[cone]; occupied {
+		// First retiree wins; the newcomer's learnt clauses are already in
+		// the store, so dropping the duplicate solver loses nothing
+		// irreplaceable.
+		atomic.AddInt64(&vc.evictions, 1)
+		if stats != nil {
+			atomic.AddInt64(&stats.CacheEvictions, 1)
+		}
+		return
+	}
+	vc.useSeq++
+	e.encoders[cone] = &cachedEncoder{
+		pe:      pe,
+		size:    pe.enc.Stats().Clauses,
+		lastUse: vc.useSeq,
+	}
+	vc.enforceBudgetLocked(stats)
+}
+
+// enforceBudgetLocked evicts least-recently-used encoders (across all keys)
+// until the summed encoded-clause footprint fits the budget.
+func (vc *VerifyCache) enforceBudgetLocked(stats *Stats) {
+	for {
+		var total int64
+		var victimEntry *cacheEntry
+		var victimCone uint64
+		var oldest uint64 = ^uint64(0)
+		n := 0
+		for _, e := range vc.entries {
+			for cone, ce := range e.encoders {
+				total += ce.size
+				n++
+				if ce.lastUse < oldest {
+					oldest, victimEntry, victimCone = ce.lastUse, e, cone
+				}
+			}
+		}
+		if total <= vc.clauseBudget || n == 0 {
+			return
+		}
+		delete(victimEntry.encoders, victimCone)
+		atomic.AddInt64(&vc.evictions, 1)
+		if stats != nil {
+			atomic.AddInt64(&stats.CacheEvictions, 1)
+		}
+	}
+}
+
+// --- Learnt-clause store ----------------------------------------------------
+
+func clauseFingerprint(cl []circuit.NamedLit) string {
+	// Canonical: sort by (name, sign) so permutations dedup.
+	sorted := append([]circuit.NamedLit(nil), cl...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Name != sorted[j].Name {
+			return sorted[i].Name < sorted[j].Name
+		}
+		return !sorted[i].Neg && sorted[j].Neg
+	})
+	var b []byte
+	for _, nl := range sorted {
+		if nl.Neg {
+			b = append(b, '-')
+		}
+		b = append(b, nl.Name...)
+		b = append(b, 0)
+	}
+	return string(b)
+}
+
+// addClauseLocked dedups and appends one clause; reports whether it was new.
+func (e *cacheEntry) addClauseLocked(cl []circuit.NamedLit, maxStore int) bool {
+	if len(e.clauses) >= maxStore {
+		return false
+	}
+	fp := clauseFingerprint(cl)
+	if _, dup := e.clauseSet[fp]; dup {
+		return false
+	}
+	e.clauseSet[fp] = struct{}{}
+	e.clauses = append(e.clauses, storedClause{lits: cl})
+	return true
+}
+
+// storeLen returns the current clause-store length for key (the replay
+// loop's cheap change probe).
+func (vc *VerifyCache) storeLen(key string) int {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if e, ok := vc.entries[key]; ok {
+		return len(e.clauses)
+	}
+	return 0
+}
+
+// replayInto imports every translatable, not-yet-imported stored clause
+// into the pooled encoder. pe must be owned by the caller. Returns the
+// number of clauses imported.
+func (vc *VerifyCache) replayInto(key string, pe *pooledEncoder) int {
+	vc.mu.Lock()
+	e, ok := vc.entries[key]
+	if !ok {
+		vc.mu.Unlock()
+		return 0
+	}
+	// Snapshot: the store is append-only (bounded), clauses are immutable.
+	clauses := e.clauses
+	vc.mu.Unlock()
+
+	n := 0
+	for i, sc := range clauses {
+		if pe.imported[i] {
+			continue
+		}
+		if pe.enc.ImportNamedClause(sc.lits) {
+			pe.imported[i] = true
+			n++
+		}
+	}
+	if n > 0 {
+		atomic.AddInt64(&vc.replayed, int64(n))
+	}
+	return n
+}
+
+// --- Verdict memo -----------------------------------------------------------
+
+// verdictKeyFor hashes one abduction query identity. Candidate order is
+// canonicalized by sorting IDs; the target is excluded from the candidate
+// list by the abduction backends, so its ID participates separately.
+func verdictKeyFor(target Pred, cands []Pred, minimize bool) verdictKey {
+	ids := make([]string, 0, len(cands))
+	for _, c := range cands {
+		ids = append(ids, c.ID())
+	}
+	sort.Strings(ids)
+	ha, hb := fnv.New64a(), fnv.New64()
+	write := func(s string) {
+		ha.Write([]byte(s))
+		ha.Write([]byte{0})
+		hb.Write([]byte(s))
+		hb.Write([]byte{0xff})
+	}
+	if minimize {
+		write("min")
+	}
+	write(target.ID())
+	for _, id := range ids {
+		write(id)
+	}
+	return verdictKey{ha.Sum64(), hb.Sum64()}
+}
+
+// lookupVerdict consults the memo and, on a hit, rebuilds the abduct from
+// the current candidate instances (IDs are canonical within a fingerprint:
+// equal IDs ⇒ semantically identical predicates).
+func (vc *VerifyCache) lookupVerdict(key string, vk verdictKey, target Pred, cands []Pred) (abductResult, bool) {
+	vc.mu.Lock()
+	e, ok := vc.entries[key]
+	if !ok {
+		vc.mu.Unlock()
+		atomic.AddInt64(&vc.verdictMisses, 1)
+		return abductResult{}, false
+	}
+	vc.useSeq++
+	e.lastUse = vc.useSeq
+	val, ok := e.verdicts[vk]
+	vc.mu.Unlock()
+	if !ok {
+		atomic.AddInt64(&vc.verdictMisses, 1)
+		return abductResult{}, false
+	}
+	if !val.ok {
+		atomic.AddInt64(&vc.verdictHits, 1)
+		return abductResult{ok: false}, true
+	}
+	byID := make(map[string]Pred, len(cands)+1)
+	for _, c := range cands {
+		byID[c.ID()] = c
+	}
+	byID[target.ID()] = target
+	preds := make([]Pred, len(val.preds))
+	for i, id := range val.preds {
+		p, ok := byID[id]
+		if !ok {
+			// Defensive: treat an unmappable memo entry as a miss rather
+			// than fabricating predicates.
+			atomic.AddInt64(&vc.verdictMisses, 1)
+			return abductResult{}, false
+		}
+		preds[i] = p
+	}
+	atomic.AddInt64(&vc.verdictHits, 1)
+	return abductResult{preds: preds, ok: true}, true
+}
+
+// storeVerdict records one computed abduction verdict.
+func (vc *VerifyCache) storeVerdict(key string, vk verdictKey, res abductResult) {
+	var val verdictVal
+	val.ok = res.ok
+	if res.ok {
+		val.preds = make([]string, len(res.preds))
+		for i, p := range res.preds {
+			val.preds[i] = p.ID()
+		}
+	}
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	e := vc.entryLocked(key)
+	if len(e.verdicts) >= vc.maxVerdicts {
+		if _, exists := e.verdicts[vk]; !exists {
+			return // memo full; favor the working set already present
+		}
+	}
+	e.verdicts[vk] = val
+}

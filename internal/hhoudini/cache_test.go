@@ -1,0 +1,359 @@
+package hhoudini
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hhoudini/internal/circuit"
+)
+
+// coldOptions is the PR 1 configuration: incremental solving with per-Learner
+// pooling but no memoization across Learner instances.
+func coldOptions() Options {
+	return Options{Workers: 1, MinimizeCores: true, IncrementalSolver: true}
+}
+
+// warmOptions shares one private VerifyCache across Learners.
+func warmOptions(c *VerifyCache) Options {
+	o := coldOptions()
+	o.CrossRunCache = true
+	o.Cache = c
+	return o
+}
+
+// TestCrossRunDifferentialRandomSystems is the cache soundness sweep: on
+// random tiny systems, a cold learner and two warm learners sharing one
+// cache (the second answering from the first's memo) must agree exactly —
+// same verdict, same invariant predicate set — and every invariant must
+// audit. Aggregated over the sweep the second warm learner must actually
+// hit the verdict memo, or the test is vacuous.
+func TestCrossRunDifferentialRandomSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(20250806))
+	var verdictHits, replayed int64
+	checked := 0
+	for iter := 0; iter < 40; iter++ {
+		sys, universe := randomSystem(t, rng)
+		target := universe[rng.Intn(len(universe))].(regEq)
+		if ok, _ := target.Eval(sys.Circuit, circuit.InitSnapshot(sys.Circuit)); !ok {
+			continue
+		}
+		checked++
+
+		cold := NewLearner(sys, minerOf(universe...), coldOptions())
+		invCold, err := cold.Learn([]Pred{target})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cache := NewVerifyCache()
+		var invWarm *Invariant
+		for round := 0; round < 2; round++ {
+			l := NewLearner(sys, minerOf(universe...), warmOptions(cache))
+			invWarm, err = l.Learn([]Pred{target})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if round == 1 {
+				verdictHits += l.Stats().CacheVerdictHits
+				replayed += l.Stats().CacheClausesReplayed
+			}
+		}
+
+		if (invCold == nil) != (invWarm == nil) {
+			t.Fatalf("iter %d: cold found=%v warm found=%v", iter, invCold != nil, invWarm != nil)
+		}
+		if invCold == nil {
+			continue
+		}
+		gc, gw := ids(invCold), ids(invWarm)
+		if len(gc) != len(gw) {
+			t.Fatalf("iter %d: invariant sizes differ: cold %v warm %v", iter, gc, gw)
+		}
+		for id := range gc {
+			if !gw[id] {
+				t.Fatalf("iter %d: warm invariant %v missing %s (cold %v)", iter, gw, id, gc)
+			}
+		}
+		if err := Audit(sys, invWarm); err != nil {
+			t.Fatalf("iter %d: warm invariant fails audit: %v", iter, err)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("sweep too small: only %d usable systems", checked)
+	}
+	if verdictHits == 0 {
+		t.Fatal("second warm runs never hit the verdict memo; differential is vacuous")
+	}
+	t.Logf("random systems: %d checked, %d verdict hits, %d clauses replayed", checked, verdictHits, replayed)
+}
+
+// TestCrossRunEncoderCheckoutAndClauseReplay forces the cache paths below
+// the verdict memo: the second learner flips MinimizeCores, so every memo
+// key differs and each query must actually solve — on encoders checked out
+// of the cache, with the first run's learnt clauses replayed in.
+func TestCrossRunEncoderCheckoutAndClauseReplay(t *testing.T) {
+	sys, universe, target := backtrackSystem(t)
+	cache := NewVerifyCache()
+
+	l1 := NewLearner(sys, minerOf(universe...), warmOptions(cache))
+	inv1, err := l1.Learn([]Pred{target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv1 == nil {
+		t.Fatal("first run must find the {B,C} invariant")
+	}
+	if got := cache.Counters().Checkins; got == 0 {
+		t.Fatal("first learner retired no encoders into the cache")
+	}
+
+	opts := warmOptions(cache)
+	opts.MinimizeCores = false // different verdict keys: memo cannot answer
+	l2 := NewLearner(sys, minerOf(universe...), opts)
+	inv2, err := l2.Learn([]Pred{target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv2 == nil {
+		t.Fatal("second run must find an invariant")
+	}
+	if err := Audit(sys, inv2); err != nil {
+		t.Fatalf("invariant proved on a checked-out solver fails audit: %v", err)
+	}
+	st := l2.Stats()
+	if st.CacheVerdictHits != 0 {
+		t.Fatalf("MinimizeCores flip must miss the memo, got %d hits", st.CacheVerdictHits)
+	}
+	if st.CacheEncoderHits == 0 {
+		t.Fatal("second learner never checked a pooled encoder out of the cache")
+	}
+	if got := ids(inv2); !got["B==1"] || !got["C==1"] {
+		t.Fatalf("second run invariant %v must contain B==1 and C==1", got)
+	}
+}
+
+// envSystem builds x' = x ∧ ¬in with x init 1: under the environment
+// assumption in==0 the target x==1 is inductive; under in==1 it is not.
+func envSystem(t *testing.T, pinInput uint64, envKey string) (*System, Pred) {
+	t.Helper()
+	b := circuit.NewBuilder()
+	in := b.Input("in", 1)
+	x := b.Register("x", 1, 1)
+	b.SetNext("x", circuit.Word{b.And2(x[0], b.Not(in[0]))})
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := &System{
+		Circuit: c,
+		Constrain: func(enc *circuit.Encoder) error {
+			lits, err := enc.InputLits("in")
+			if err != nil {
+				return err
+			}
+			l := lits[0]
+			if pinInput == 0 {
+				l = l.Not()
+			}
+			enc.AssertLit(l)
+			return nil
+		},
+		EnvKey: envKey,
+	}
+	return sys, regEq{reg: "x", val: 1}
+}
+
+// TestCrossRunEnvKeyInvalidation is the invalidation contract: a changed
+// environment assumption (different EnvKey over the same circuit) must miss
+// every layer of the cache, while returning to a previously seen EnvKey
+// hits again. The two environments provably need different verdicts, so a
+// stale hit would be unsound, not just slow.
+func TestCrossRunEnvKeyInvalidation(t *testing.T) {
+	cache := NewVerifyCache()
+	learn := func(pin uint64, key string) (*Learner, *Invariant) {
+		sys, target := envSystem(t, pin, key)
+		l := NewLearner(sys, minerOf(target), warmOptions(cache))
+		inv, err := l.Learn([]Pred{target})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l, inv
+	}
+
+	// Round 1: in==0, invariant exists. Populates the cache.
+	l0, inv0 := learn(0, "in=0")
+	if inv0 == nil {
+		t.Fatal("x==1 must be inductive under in==0")
+	}
+	if l0.Stats().CacheVerdictHits != 0 || l0.Stats().CacheEncoderHits != 0 {
+		t.Fatal("first run over an empty cache cannot hit")
+	}
+
+	// Round 2: in==1, a different EnvKey. Must miss everywhere — and the
+	// fresh solve must reach the opposite verdict.
+	l1, inv1 := learn(1, "in=1")
+	if inv1 != nil {
+		t.Fatal("x==1 must NOT be inductive under in==1; a stale cache hit leaked across environments")
+	}
+	st := l1.Stats()
+	if st.CacheVerdictHits != 0 || st.CacheEncoderHits != 0 {
+		t.Fatalf("changed EnvKey must miss: verdict hits %d, encoder hits %d",
+			st.CacheVerdictHits, st.CacheEncoderHits)
+	}
+	if st.CacheEncoderMisses == 0 {
+		t.Fatal("changed EnvKey run recorded no encoder misses; cache was never consulted")
+	}
+
+	// Round 3: back to in==0. The original entry must still be live.
+	l2, inv2 := learn(0, "in=0")
+	if inv2 == nil {
+		t.Fatal("returning to in==0 must still find the invariant")
+	}
+	if l2.Stats().CacheVerdictHits == 0 {
+		t.Fatal("repeat of a cached EnvKey must hit the verdict memo")
+	}
+}
+
+// TestUncacheableSystemBypassesCache: a System with a non-nil Constrain but
+// no EnvKey has no canonical identity, so the learner must run fully cold —
+// no counters move, and the supplied cache stays untouched.
+func TestUncacheableSystemBypassesCache(t *testing.T) {
+	cache := NewVerifyCache()
+	sys, target := envSystem(t, 0, "in=0")
+	sys.EnvKey = "" // same constraint, but anonymous: not cacheable
+	if _, ok := sys.CacheKey(); ok {
+		t.Fatal("non-nil Constrain with empty EnvKey must not be cacheable")
+	}
+	l := NewLearner(sys, minerOf(target), warmOptions(cache))
+	inv, err := l.Learn([]Pred{target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv == nil {
+		t.Fatal("uncacheable learner must still learn")
+	}
+	st := l.Stats()
+	if st.CacheVerdictHits+st.CacheEncoderHits+st.CacheEncoderMisses+st.CacheClausesReplayed != 0 {
+		t.Fatalf("uncacheable system moved cache counters: verdict %d, enc hit/miss %d/%d, replayed %d",
+			st.CacheVerdictHits, st.CacheEncoderHits, st.CacheEncoderMisses, st.CacheClausesReplayed)
+	}
+	if c := cache.Counters(); c != (CacheCounters{}) {
+		t.Fatalf("uncacheable system touched the cache: %+v", c)
+	}
+}
+
+// TestVerifyCacheEvictionBudget pins the budget semantics: a 1-clause
+// budget admits no encoder (every check-in is immediately evicted), yet the
+// verdict memo and clause store — which the budget does not govern — keep
+// serving repeats. A zero budget disables encoder retention outright.
+func TestVerifyCacheEvictionBudget(t *testing.T) {
+	sys := andGateSystem(t)
+	universe := []Pred{
+		regEq{reg: "A", val: 1}, regEq{reg: "B", val: 1}, regEq{reg: "C", val: 1},
+		regEq{reg: "D", val: 1}, regEq{reg: "E", val: 1},
+	}
+	target := regEq{reg: "A", val: 1}
+
+	for _, budget := range []int64{1, 0} {
+		cache := NewVerifyCacheWithBudget(budget)
+		l1 := NewLearner(sys, minerOf(universe...), warmOptions(cache))
+		if inv, err := l1.Learn([]Pred{target}); err != nil || inv == nil {
+			t.Fatalf("budget %d: first run err=%v inv=%v", budget, err, inv)
+		}
+		c := cache.Counters()
+		if budget == 1 && c.Evictions == 0 {
+			t.Fatal("budget 1: retiring an encoder must trigger budget eviction")
+		}
+		if budget == 0 && c.Evictions != 0 {
+			t.Fatalf("budget 0: nothing is retained, nothing to evict, got %d", c.Evictions)
+		}
+
+		l2 := NewLearner(sys, minerOf(universe...), warmOptions(cache))
+		inv, err := l2.Learn([]Pred{target})
+		if err != nil || inv == nil {
+			t.Fatalf("budget %d: second run err=%v inv=%v", budget, err, inv)
+		}
+		st := l2.Stats()
+		if st.CacheEncoderHits != 0 {
+			t.Fatalf("budget %d: no encoder can survive, yet checkout hit %d times", budget, st.CacheEncoderHits)
+		}
+		if st.CacheVerdictHits == 0 {
+			t.Fatalf("budget %d: verdict memo must survive encoder eviction", budget)
+		}
+		if err := Audit(sys, inv); err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+	}
+}
+
+// TestVerifyCacheMaxKeysEviction drives more distinct cache keys than
+// maxKeys through the verdict store and checks whole-key LRU eviction keeps
+// the table bounded.
+func TestVerifyCacheMaxKeysEviction(t *testing.T) {
+	vc := NewVerifyCache()
+	p := regEq{reg: "A", val: 1}
+	vk := verdictKeyFor(p, nil, true)
+	for i := 0; i < defaultCacheMaxKeys*2; i++ {
+		vc.storeVerdict(string(rune('a'+i%26))+string(rune('0'+i/26)), vk, abductResult{ok: false})
+	}
+	vc.mu.Lock()
+	n := len(vc.entries)
+	vc.mu.Unlock()
+	if n > defaultCacheMaxKeys {
+		t.Fatalf("cache holds %d keys, budget is %d", n, defaultCacheMaxKeys)
+	}
+}
+
+// TestCrossRunConcurrentLearners stresses the concurrency contract: many
+// Learners (each itself multi-worker) share one cache simultaneously over
+// the same system. Under -race this pins the locking discipline; the
+// checkout semantics guarantee no two live workers ever share a solver, so
+// every goroutine must still converge on the same audited invariant.
+func TestCrossRunConcurrentLearners(t *testing.T) {
+	sys, universe, target := backtrackSystem(t)
+	cache := NewVerifyCache()
+	const goroutines = 8
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			opts := warmOptions(cache)
+			opts.Workers = 2
+			l := NewLearner(sys, minerOf(universe...), opts)
+			inv, err := l.Learn([]Pred{target})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if inv == nil {
+				errs <- fmt.Errorf("concurrent learner found no invariant")
+				return
+			}
+			if got := ids(inv); !got["B==1"] || !got["C==1"] {
+				errs <- fmt.Errorf("invariant %v missing B==1/C==1", got)
+				return
+			}
+			errs <- Audit(sys, inv)
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConeKeyMemoizedAndDeterministic: equal predicate IDs hash to equal
+// cone keys on every call (the memo must be stable), and cones over
+// different variable sets separate.
+func TestConeKeyMemoizedAndDeterministic(t *testing.T) {
+	a := regEq{reg: "A", val: 1}
+	a2 := regEq{reg: "A", val: 1}
+	bp := regEq{reg: "B", val: 0}
+	if coneKey(a) != coneKey(a) || coneKey(a) != coneKey(a2) {
+		t.Fatal("coneKey not stable across calls for equal predicates")
+	}
+	if coneKey(a) == coneKey(bp) {
+		t.Fatal("distinct variable sets collided (FNV64 over different inputs)")
+	}
+}

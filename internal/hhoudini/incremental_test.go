@@ -151,8 +151,8 @@ func TestEncoderPoolSharesCones(t *testing.T) {
 	a1 := regEq{reg: "A", val: 1}
 	b1 := regEq{reg: "B", val: 1}
 
-	if sig0, sig1 := coneSignature(a0), coneSignature(a1); sig0 != sig1 {
-		t.Fatalf("same-variable predicates must share a cone: %q vs %q", sig0, sig1)
+	if sig0, sig1 := coneKey(a0), coneKey(a1); sig0 != sig1 {
+		t.Fatalf("same-variable predicates must share a cone: %x vs %x", sig0, sig1)
 	}
 
 	pe0, warm0, err := pool.get(a0)

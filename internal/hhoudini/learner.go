@@ -33,12 +33,25 @@ type Options struct {
 	// fresh-solver-per-query path — the ablation baseline exercised by
 	// BenchmarkAblationIncrementalSolver.
 	IncrementalSolver bool
+	// CrossRunCache extends memoization across Learner instances: worker
+	// pools check retired solver/encoder pairs out of (and back into) a
+	// shared VerifyCache keyed by System.CacheKey, base-system learnt
+	// clauses are replayed between solvers of the same identity, and whole
+	// abduction verdicts are memoized. It only engages for cacheable
+	// systems (see System.CacheKey) and composes with IncrementalSolver;
+	// disabling it is the cross-run ablation and restores fully isolated
+	// Learn calls.
+	CrossRunCache bool
+	// Cache overrides the process-global shared cache (SharedCache) when
+	// CrossRunCache is on. Useful for tests and for isolating workloads.
+	Cache *VerifyCache
 }
 
 // DefaultOptions mirror the paper's configuration (incremental,
-// assumption-scoped abduction queries).
+// assumption-scoped abduction queries; verification state shared across
+// runs over the same system).
 func DefaultOptions() Options {
-	return Options{Workers: 1, MinimizeCores: true, IncrementalSolver: true}
+	return Options{Workers: 1, MinimizeCores: true, IncrementalSolver: true, CrossRunCache: true}
 }
 
 // Tiered is an optional interface predicates may implement to support
@@ -68,6 +81,18 @@ type Stats struct {
 	EncodedClauses int64 // clauses pushed into solvers across all queries
 	SolverAllocs   int64 // solver/encoder pairs constructed
 	PoolReuses     int64 // abduction queries served by an already-warm pooled solver
+
+	// Cross-run cache counters (Options.CrossRunCache), as seen by this
+	// learner: hits/misses on pooled-encoder checkout, whole abduction
+	// queries answered by the verdict memo, learnt clauses replayed into /
+	// exported out of this learner's solvers, and encoders this learner's
+	// check-ins evicted from the shared cache.
+	CacheEncoderHits     int64
+	CacheEncoderMisses   int64
+	CacheVerdictHits     int64
+	CacheClausesReplayed int64
+	CacheClausesExported int64
+	CacheEvictions       int64
 
 	WallTime time.Duration
 
@@ -208,6 +233,13 @@ type Learner struct {
 	opts  Options
 	stats *Stats
 
+	// cache/cacheKey enable cross-run memoization (Options.CrossRunCache).
+	// Both stay zero when the option is off or the system is not cacheable
+	// (System.CacheKey), in which case every path below behaves exactly as
+	// the isolated PR 1 learner.
+	cache    *VerifyCache
+	cacheKey string
+
 	// init is the reset-state snapshot, computed once per learner;
 	// initEval memoizes per-predicate init-state evaluation by pred ID
 	// (s0 is a fixed positive example, so the verdict never changes).
@@ -248,6 +280,15 @@ func NewLearner(sys *System, mine MineOracle, opts Options) *Learner {
 	}
 	if l.opts.Workers == 0 {
 		l.opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.CrossRunCache {
+		if key, ok := sys.CacheKey(); ok {
+			l.cacheKey = key
+			l.cache = opts.Cache
+			if l.cache == nil {
+				l.cache = sharedCache
+			}
+		}
 	}
 	l.cond = sync.NewCond(&l.mu)
 	return l
@@ -357,6 +398,8 @@ func (l *Learner) holdsAtInit(p Pred) (bool, error) {
 // path lock-free).
 func (l *Learner) worker() {
 	pool := newEncoderPool(l.sys, l.stats)
+	pool.attachCache(l.cache, l.cacheKey)
+	defer pool.retire()
 	for {
 		l.mu.Lock()
 		for len(l.queue) == 0 && l.active > 0 && l.err == nil {

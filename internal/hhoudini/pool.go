@@ -1,8 +1,9 @@
 package hhoudini
 
 import (
+	"hash/fnv"
 	"sort"
-	"strings"
+	"sync"
 	"sync/atomic"
 
 	"hhoudini/internal/circuit"
@@ -21,36 +22,94 @@ import (
 // the underlying sat.Solver is not safe for concurrent use. Parallel
 // learners hold one pool per worker, mirroring the paper's per-task solver
 // processes while still amortizing encode work within each worker.
+//
+// A pool may additionally be attached to a cross-run VerifyCache
+// (attachCache). Then cone misses first try to check a retired encoder out
+// of the cache — checkout removes the entry, preserving the single-owner
+// invariant — and retire() checks every live encoder back in at worker
+// shutdown instead of dropping it, which is what makes solver state survive
+// across Learner instances.
 type encoderPool struct {
 	sys     *System
 	stats   *Stats
-	entries map[string]*pooledEncoder
+	entries map[uint64]*pooledEncoder
+
+	// cache/key enable cross-run reuse; nil cache means the pool is
+	// isolated (the pre-cache PR 1 behaviour).
+	cache *VerifyCache
+	key   string
+
+	retired bool
 }
 
 // newEncoderPool creates an empty pool bound to a system. stats may be nil.
 func newEncoderPool(sys *System, stats *Stats) *encoderPool {
-	return &encoderPool{sys: sys, stats: stats, entries: make(map[string]*pooledEncoder)}
+	return &encoderPool{sys: sys, stats: stats, entries: make(map[uint64]*pooledEncoder)}
 }
 
-// coneSignature keys pooled solvers. Predicates over the same state
-// variables (e.g. Eq(v), EqConst(v,c) and InSafeSet(v) for one v) share
-// the 1-step cone of those variables, hence an encoder.
-func coneSignature(p Pred) string {
+// attachCache connects the pool to a cross-run cache under the given system
+// cache key. A nil cache (or empty key) leaves the pool isolated.
+func (pl *encoderPool) attachCache(c *VerifyCache, key string) {
+	if c == nil || key == "" {
+		return
+	}
+	pl.cache, pl.key = c, key
+}
+
+// coneKeys memoizes coneKey by predicate ID. Cone membership is a pure
+// function of the predicate (Vars() is fixed per ID), so the memo is sound
+// process-wide and shared across all pools, caches and Learners.
+var coneKeys sync.Map // pred ID (string) → uint64
+
+// coneKey keys pooled solvers. Predicates over the same state variables
+// (e.g. Eq(v), EqConst(v,c) and InSafeSet(v) for one v) share the 1-step
+// cone of those variables, hence an encoder. The key is a fixed-width FNV
+// hash of the sorted variable list, computed once per predicate ID: the
+// previous string-concatenation signature allocated and hashed the full
+// variable list on every query. A hash collision merely merges two cones
+// into one solver — sound (the solver holds strictly more of the base
+// system), just a different sharding.
+func coneKey(p Pred) uint64 {
+	id := p.ID()
+	if v, ok := coneKeys.Load(id); ok {
+		return v.(uint64)
+	}
 	vars := append([]string(nil), p.Vars()...)
 	sort.Strings(vars)
-	return strings.Join(vars, "\x00")
+	h := fnv.New64a()
+	for _, v := range vars {
+		h.Write([]byte(v))
+		h.Write([]byte{0})
+	}
+	k := h.Sum64()
+	coneKeys.Store(id, k)
+	return k
 }
 
 // get returns the pooled encoder for the target's cone, constructing (and
 // constraining) a fresh solver on first use. The second result reports
-// whether the encoder was already warm.
+// whether the encoder was already warm (locally or from the cross-run
+// cache).
 func (pl *encoderPool) get(target Pred) (*pooledEncoder, bool, error) {
-	sig := coneSignature(target)
-	if pe, ok := pl.entries[sig]; ok {
+	ck := coneKey(target)
+	if pe, ok := pl.entries[ck]; ok {
 		if pl.stats != nil {
 			atomic.AddInt64(&pl.stats.PoolReuses, 1)
 		}
 		return pe, true, nil
+	}
+	if pl.cache != nil {
+		if pe := pl.cache.checkout(pl.key, ck); pe != nil {
+			if pl.stats != nil {
+				atomic.AddInt64(&pl.stats.PoolReuses, 1)
+				atomic.AddInt64(&pl.stats.CacheEncoderHits, 1)
+			}
+			pl.entries[ck] = pe
+			return pe, true, nil
+		}
+		if pl.stats != nil {
+			atomic.AddInt64(&pl.stats.CacheEncoderMisses, 1)
+		}
 	}
 	enc, err := pl.sys.newEncoder()
 	if err != nil {
@@ -59,13 +118,55 @@ func (pl *encoderPool) get(target Pred) (*pooledEncoder, bool, error) {
 	if pl.stats != nil {
 		atomic.AddInt64(&pl.stats.SolverAllocs, 1)
 	}
-	pe := &pooledEncoder{enc: enc, sels: make(map[string]sat.Lit)}
-	pl.entries[sig] = pe
+	pe := &pooledEncoder{
+		enc:      enc,
+		sels:     make(map[string]sat.Lit),
+		imported: make(map[int]bool),
+	}
+	pl.entries[ck] = pe
 	return pe, false, nil
 }
 
 // size returns the number of live solver/encoder pairs in the pool.
 func (pl *encoderPool) size() int { return len(pl.entries) }
+
+// retire checks every live encoder into the cross-run cache (when one is
+// attached) and empties the pool. Without a cache this is just the old
+// end-of-Learn drop. Idempotent: the second call finds nothing to check in.
+func (pl *encoderPool) retire() {
+	if pl.retired {
+		return
+	}
+	pl.retired = true
+	if pl.cache != nil {
+		for ck, pe := range pl.entries {
+			pl.cache.checkin(pl.key, ck, pe, pl.stats)
+		}
+	}
+	pl.entries = make(map[uint64]*pooledEncoder)
+}
+
+// replayLearnts imports base-system learnt clauses from the cross-run
+// clause store into pe. Called once per query after encoding (new predicate
+// encodings may have introduced the names a stored clause needs), it keeps
+// the hot path cheap with two change probes: a clause can only become
+// importable when the store grows or the encoder allocates new named
+// variables, so when neither counter moved since the last attempt the whole
+// scan is skipped.
+func (pl *encoderPool) replayLearnts(pe *pooledEncoder) {
+	if pl.cache == nil {
+		return
+	}
+	names := pe.enc.NamedVarCount()
+	storeLen := pl.cache.storeLen(pl.key)
+	if names == pe.lastNameCount && storeLen == pe.lastStoreLen {
+		return
+	}
+	pe.lastNameCount, pe.lastStoreLen = names, storeLen
+	if n := pl.cache.replayInto(pl.key, pe); n > 0 && pl.stats != nil {
+		atomic.AddInt64(&pl.stats.CacheClausesReplayed, int64(n))
+	}
+}
 
 // pooledEncoder is one long-lived solver/encoder pair plus the caches that
 // make repeat queries cheap: predicate encodings are memoized by predicate
@@ -77,6 +178,12 @@ type pooledEncoder struct {
 	// literal (guarding sel → p). A selector absent from a query's
 	// assumptions leaves its clause inactive at zero cost.
 	sels map[string]sat.Lit
+	// imported marks cross-run clause-store indices already replayed into
+	// this solver. The store is append-only per cache key, so indices are
+	// stable identities even across check-in/checkout cycles.
+	imported map[int]bool
+	// lastNameCount/lastStoreLen are replayLearnts's change probes.
+	lastNameCount, lastStoreLen int
 	// lastGates/lastClauses snapshot the encoder counters at the previous
 	// query boundary so per-query deltas can be charged to Stats.
 	lastGates, lastClauses int64

@@ -1,6 +1,8 @@
 package hhoudini
 
 import (
+	"strconv"
+
 	"hhoudini/internal/circuit"
 	"hhoudini/internal/sat"
 )
@@ -16,16 +18,43 @@ type System struct {
 	// Constrain asserts the environment assumption into an encoder, or is
 	// nil when inputs are unconstrained.
 	Constrain func(enc *circuit.Encoder) error
+	// EnvKey is the canonical identity of the environment assumption: two
+	// Systems over the same circuit with equal EnvKeys must install
+	// logically identical assumptions, and Constrain must encode them as a
+	// deterministic function of the key (same clauses, same gate order), so
+	// that canonical gate names line up across encoders. A System with a
+	// non-nil Constrain and an empty EnvKey is not cacheable: the cross-run
+	// verification cache refuses to share any state for it. Changing the
+	// safe set changes the key, which is the cache's invalidation story.
+	EnvKey string
 }
 
+// envScope is the canonical gate-naming scope of the environment
+// assumption. The \x01 prefix keeps it disjoint from predicate Memo keys.
+const envScope = "\x01env"
+
 // newEncoder builds a fresh solver+encoder pair with the environment
-// assumption asserted.
+// assumption asserted. The assumption is encoded inside the canonical
+// "env" naming scope so its auxiliary gates are portable across solvers of
+// the same (fingerprint, EnvKey) identity.
 func (s *System) newEncoder() (*circuit.Encoder, error) {
 	enc := circuit.NewEncoder(s.Circuit, sat.New())
 	if s.Constrain != nil {
-		if err := s.Constrain(enc); err != nil {
+		if err := enc.InScope(envScope, func() error { return s.Constrain(enc) }); err != nil {
 			return nil, err
 		}
 	}
 	return enc, nil
+}
+
+// CacheKey returns the cross-run cache identity of the system — the
+// circuit's structural fingerprint combined with the environment-assumption
+// key — and whether the system is cacheable at all. Systems with an
+// anonymous environment assumption (Constrain set, EnvKey empty) are not:
+// nothing identifies what was asserted into their solvers.
+func (s *System) CacheKey() (string, bool) {
+	if s.Constrain != nil && s.EnvKey == "" {
+		return "", false
+	}
+	return strconv.FormatUint(s.Circuit.Fingerprint(), 16) + "|" + s.EnvKey, true
 }

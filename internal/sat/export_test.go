@@ -1,0 +1,146 @@
+package sat
+
+import "testing"
+
+// php adds a pigeonhole instance PHP(pigeons, holes) to the solver and
+// returns nothing; UNSAT whenever pigeons > holes, and small instances
+// already force real CDCL learning.
+func php(s *Solver, pigeons, holes int) {
+	lit := func(p, h int) Lit {
+		v := Var(p*holes + h)
+		for s.NumVars() <= int(v) {
+			s.NewVar()
+		}
+		return PosLit(v)
+	}
+	for p := 0; p < pigeons; p++ {
+		cl := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			cl[h] = lit(p, h)
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(lit(p1, h).Not(), lit(p2, h).Not())
+			}
+		}
+	}
+}
+
+// TestExportLearntsRootUnitsHonorLocality checks the unit-fact half of the
+// export path: level-0 trail literals are exported as unit clauses unless
+// their variable was marked local.
+func TestExportLearntsRootUnitsHonorLocality(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.MarkLocal(b)
+	if !s.IsLocal(b) || s.IsLocal(a) {
+		t.Fatal("locality flags wrong")
+	}
+	s.AddClause(PosLit(a))
+	s.AddClause(PosLit(b))
+
+	got := s.ExportLearnts(8)
+	var sawA, sawB bool
+	for _, cl := range got {
+		if len(cl) != 1 {
+			t.Fatalf("expected only units, got %v", cl)
+		}
+		switch cl[0].Var() {
+		case a:
+			sawA = true
+		case b:
+			sawB = true
+		}
+	}
+	if !sawA {
+		t.Fatal("non-local root unit was not exported")
+	}
+	if sawB {
+		t.Fatal("local root unit leaked into the export")
+	}
+}
+
+// TestExportImportLearntsRoundTrip solves an UNSAT pigeonhole instance,
+// exports the learnt clauses and replays them into a second solver over the
+// same base clauses: the import must be accepted, counted, and leave the
+// second solver's verdict unchanged.
+func TestExportImportLearntsRoundTrip(t *testing.T) {
+	const pigeons, holes = 6, 5
+	src := New()
+	php(src, pigeons, holes)
+	if st := src.Solve(); st != Unsat {
+		t.Fatalf("PHP(%d,%d) = %v, want Unsat", pigeons, holes, st)
+	}
+	exported := src.ExportLearnts(64)
+	if len(exported) == 0 {
+		t.Fatal("pigeonhole search must learn exportable clauses")
+	}
+	if src.Stats.Exported != int64(len(exported)) {
+		t.Fatalf("Exported stat = %d, want %d", src.Stats.Exported, len(exported))
+	}
+	for _, cl := range exported {
+		if len(cl) == 0 {
+			t.Fatal("empty clause exported")
+		}
+	}
+
+	dst := New()
+	php(dst, pigeons, holes)
+	for _, cl := range exported {
+		dst.ImportClause(cl...)
+	}
+	if dst.Stats.Imported != int64(len(exported)) {
+		t.Fatalf("Imported stat = %d, want %d", dst.Stats.Imported, len(exported))
+	}
+	if st := dst.Solve(); st != Unsat {
+		t.Fatalf("after import: %v, want Unsat", st)
+	}
+	// The replayed clauses must prune search: the importer's conflict count
+	// must not exceed the cold solver's.
+	if dst.Stats.Conflicts > src.Stats.Conflicts {
+		t.Fatalf("import did not help: dst conflicts %d > src %d",
+			dst.Stats.Conflicts, src.Stats.Conflicts)
+	}
+}
+
+// TestExportLearntsExcludesSelectorClauses checks that clauses whose
+// derivation pinned a selector are never exported: selectors are
+// solver-local, so any clause mentioning one is meaningless elsewhere.
+func TestExportLearntsExcludesSelectorClauses(t *testing.T) {
+	s := New()
+	x := s.NewVar()
+	sel := s.NewSelector()
+	// sel → x and sel → ¬x: assuming sel is contradictory.
+	s.AddClause(sel.Not(), PosLit(x))
+	s.AddClause(sel.Not(), NegLit(x))
+	if st := s.Solve(sel); st != Unsat {
+		t.Fatalf("got %v, want Unsat under sel", st)
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("got %v, want Sat without sel", st)
+	}
+	for _, cl := range s.ExportLearnts(8) {
+		for _, l := range cl {
+			if l.Var() == sel.Var() {
+				t.Fatalf("selector leaked into exported clause %v", cl)
+			}
+		}
+	}
+}
+
+// TestExportLearntsLengthCap checks maxLen filtering.
+func TestExportLearntsLengthCap(t *testing.T) {
+	s := New()
+	php(s, 6, 5)
+	if st := s.Solve(); st != Unsat {
+		t.Fatal("want Unsat")
+	}
+	for _, cl := range s.ExportLearnts(2) {
+		if len(cl) > 2 {
+			t.Fatalf("clause %v exceeds maxLen", cl)
+		}
+	}
+}

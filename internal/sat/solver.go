@@ -25,6 +25,11 @@ type Stats struct {
 	// level-0 garbage-collection passes over the clause database.
 	Released   int64
 	Simplifies int64
+	// Exported counts learnt clauses handed out via ExportLearnts; Imported
+	// counts clauses replayed in via AddClause from a cross-run cache (the
+	// caller increments it through ImportClause).
+	Exported int64
+	Imported int64
 }
 
 type clauseRef int32
@@ -36,6 +41,14 @@ type clause struct {
 	act     float32
 	learnt  bool
 	deleted bool
+	// base marks a learnt clause free of local (selector) variables. Such a
+	// clause is a consequence of the base clause database alone — guarded
+	// clauses (¬s ∨ C) can never contribute to a derivation without leaving
+	// a ¬s literal behind (no clause contains a positive selector), and
+	// level-0 release units (¬s) only deactivate guarded clauses — so it is
+	// sound to replay into any solver over the same base system. Tagged at
+	// learn time (allocClause) for export via ExportLearnts.
+	base bool
 }
 
 type watcher struct {
@@ -54,6 +67,7 @@ type Solver struct {
 	assigns  []lbool     // indexed by Var
 	polarity []bool      // saved phase per Var; true = assign false next time
 	decision []bool      // per Var: eligible as a decision variable
+	local    []bool      // per Var: scoped to this solver (selectors); see MarkLocal
 	level    []int32
 	reason   []clauseRef
 	trail    []Lit
@@ -120,6 +134,7 @@ func (s *Solver) NewVar() Var {
 	s.assigns = append(s.assigns, lUndef)
 	s.polarity = append(s.polarity, true)
 	s.decision = append(s.decision, true)
+	s.local = append(s.local, false)
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, crUndef)
 	s.activity = append(s.activity, 0)
@@ -194,6 +209,18 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 func (s *Solver) allocClause(lits []Lit, learnt bool) clauseRef {
 	cr := clauseRef(len(s.clauses))
 	c := clause{lits: append([]Lit(nil), lits...), learnt: learnt}
+	if learnt {
+		// Tag base-system clauses during CDCL: a learnt clause mentioning
+		// no local (selector) variable is exportable across solvers over
+		// the same base system (see the clause.base doc comment).
+		c.base = true
+		for _, l := range c.lits {
+			if s.local[l.Var()] {
+				c.base = false
+				break
+			}
+		}
+	}
 	s.clauses = append(s.clauses, c)
 	if learnt {
 		s.learnts = append(s.learnts, cr)

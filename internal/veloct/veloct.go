@@ -71,9 +71,27 @@ type Result struct {
 // System builds the transition system for a proposed safe set: the product
 // circuit under the environment assumption that every instruction input is
 // drawn from the safe set's patterns (Σ ∪ {ε} of Definition 4.4).
+//
+// The assumption is installed with an explicit EnvKey so the cross-run
+// verification cache can identify it: the patterns are put in a canonical
+// order first, making the encoded clause stream a deterministic function of
+// (circuit, EnvKey) as System.EnvKey's contract requires — two Verify calls
+// over the same safe set produce byte-identical assumption encodings, and
+// any change to the safe set changes the key and misses the cache.
 func (a *Analysis) System(safe []string) *hhoudini.System {
-	pats := a.Target.SafePatterns(safe)
+	// Copy before sorting: pattern generators may hand out shared slices.
+	pats := append([]isa.MaskMatch(nil), a.Target.SafePatterns(safe)...)
+	sort.Slice(pats, func(i, j int) bool {
+		if pats[i].Mask != pats[j].Mask {
+			return pats[i].Mask < pats[j].Mask
+		}
+		return pats[i].Match < pats[j].Match
+	})
 	port := a.Target.InstrPort
+	envKey := fmt.Sprintf("safeset:%s", port)
+	for _, mm := range pats {
+		envKey += fmt.Sprintf(";%x/%x", uint64(mm.Mask), uint64(mm.Match))
+	}
 	return &hhoudini.System{
 		Circuit: a.Product.Circuit,
 		Constrain: func(enc *circuit.Encoder) error {
@@ -88,6 +106,7 @@ func (a *Analysis) System(safe []string) *hhoudini.System {
 			enc.AssertLit(enc.OrLits(opts...))
 			return nil
 		},
+		EnvKey: envKey,
 	}
 }
 
