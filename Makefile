@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke bench bench-json ci
+.PHONY: all vet build test race race-proofdb bench-smoke bench bench-json bench-persist ci
 
 all: build
 
@@ -19,6 +19,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race tier for the persistence layer: the proofdb package plus the
+# concurrent snapshot/flush paths in the core engine.
+race-proofdb:
+	$(GO) test -race ./internal/proofdb/
+	$(GO) test -race -run 'TestConcurrentSnapshotWhileLearn|TestBackgroundFlusher|TestConcurrentMergeFlushSnapshot' ./internal/...
+
 # One iteration of every benchmark: catches bit-rot in the harness without
 # paying for stable timings.
 bench-smoke:
@@ -33,4 +39,10 @@ bench-json:
 	$(GO) run ./cmd/benchjson -design execstage -runs 3 -out BENCH_crossrun.json
 	$(GO) run ./cmd/benchjson -check BENCH_crossrun.json
 
-ci: vet build race bench-smoke bench-json
+# Emit and self-check the persistent proof-store benchmark document: a cold
+# process populates the store, a fresh-cache process warm-starts from disk.
+bench-persist:
+	$(GO) run ./cmd/benchjson -persist -design execstage -runs 3 -out BENCH_proofdb.json
+	$(GO) run ./cmd/benchjson -check BENCH_proofdb.json
+
+ci: vet build race race-proofdb bench-smoke bench-json bench-persist

@@ -12,6 +12,7 @@ import (
 	"hhoudini/internal/isa"
 	"hhoudini/internal/mc"
 	"hhoudini/internal/miter"
+	"hhoudini/internal/proofdb"
 	"hhoudini/internal/sat"
 	"hhoudini/internal/veloct"
 )
@@ -274,6 +275,45 @@ func NewVerifyCacheWithBudget(clauseBudget int64) *VerifyCache {
 // SharedVerifyCache returns the process-global cross-run cache used by
 // default when LearnerOptions.CrossRunCache is on.
 func SharedVerifyCache() *VerifyCache { return core.SharedCache() }
+
+// --- Persistent proof store -------------------------------------------------
+
+// ProofDB binds a verification cache to a versioned on-disk proof store
+// (learnt clauses + abduction verdicts, keyed by circuit fingerprint and
+// environment key) so separate process invocations share warm starts.
+// ProofDBConfig configures the binding (staleness bound, byte budget,
+// optional background flusher); ProofStoreOptions and ProofStoreStats are
+// the underlying store's tuning knobs and counters; ProofSnapshot is the
+// portable exchange form between cache and store.
+type (
+	ProofDB           = core.ProofDB
+	ProofDBConfig     = core.ProofDBConfig
+	ProofStoreOptions = proofdb.Options
+	ProofStoreStats   = proofdb.Stats
+	ProofSnapshot     = proofdb.Snapshot
+)
+
+// DefaultCacheDir is the conventional on-disk cache directory tools use
+// when persistence is requested without an explicit path (.gitignored).
+const DefaultCacheDir = proofdb.DefaultDir
+
+// OpenProofDB opens (creating if needed) the proof store in dir, restores
+// its contents into vc, and returns the binding; Flush/Close persist the
+// cache back with crash-safe atomic rewrites. Corrupt or version-mismatched
+// stores are never an error — they load colder (see ProofStoreStats).
+//
+// For embedded use, LearnerOptions.CacheDir performs the same binding
+// implicitly (with a flush at every Learn shutdown); CloseProofDBs is the
+// matching process-exit hook.
+func OpenProofDB(dir string, vc *VerifyCache, cfg ProofDBConfig) (*ProofDB, error) {
+	return core.OpenProofDB(dir, vc, cfg)
+}
+
+// CloseProofDBs flushes and closes every proof store opened implicitly via
+// LearnerOptions.CacheDir. Call it before process exit (each Learn already
+// flushed at shutdown, so this is a final-durability convenience, not a
+// correctness requirement).
+func CloseProofDBs() error { return core.CloseProofDBs() }
 
 // Audit monolithically verifies a learned invariant (initiation,
 // consecution, property).

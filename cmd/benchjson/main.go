@@ -1,11 +1,19 @@
-// Command benchjson distills the cross-run cache benchmark into a small
-// machine-readable JSON file (BENCH_crossrun.json) for CI tracking: it runs
-// N verifications of a fixed safe set cold (cache disabled) and N warm (one
-// private cache shared across the runs, first run untimed as warmup) and
-// reports wall time and encode work for both, plus the derived reduction
-// percentages.
+// Command benchjson distills the cross-run cache benchmarks into small
+// machine-readable JSON files for CI tracking.
+//
+// Default mode (BENCH_crossrun.json): N verifications of a fixed safe set
+// cold (cache disabled) and N warm (one private cache shared across the
+// runs, first run untimed as warmup), reporting wall time and encode work
+// for both plus the derived reduction percentages.
+//
+// Persist mode (-persist, BENCH_proofdb.json): the warm-start-from-disk
+// row. A cold process populates an on-disk proof store (fresh cache +
+// -cache-dir semantics), the store is closed, and a second fresh-cache
+// "process" restores from the same directory — measuring how much of the
+// verification a brand-new process answers from persisted memos.
 //
 //	benchjson -design execstage -runs 3 -out BENCH_crossrun.json
+//	benchjson -persist -design execstage -runs 2 -out BENCH_proofdb.json
 //	benchjson -check BENCH_crossrun.json
 package main
 
@@ -20,15 +28,38 @@ import (
 	hh "hhoudini"
 )
 
-const schema = "hhoudini-bench-crossrun/v1"
+const (
+	schema        = "hhoudini-bench-crossrun/v1"
+	persistSchema = "hhoudini-bench-proofdb/v1"
+)
 
 var (
-	flagDesign = flag.String("design", "execstage", "design: execstage|inorder|small|medium|large|mega")
-	flagSafe   = flag.String("safe", "", "comma-separated safe set (default: per-design)")
-	flagRuns   = flag.Int("runs", 3, "timed verifications per configuration")
-	flagOut    = flag.String("out", "BENCH_crossrun.json", "output path (\"-\" = stdout)")
-	flagCheck  = flag.String("check", "", "validate an existing bench JSON file and exit")
+	flagDesign  = flag.String("design", "execstage", "design: execstage|inorder|small|medium|large|mega")
+	flagSafe    = flag.String("safe", "", "comma-separated safe set (default: per-design)")
+	flagRuns    = flag.Int("runs", 3, "timed verifications per configuration")
+	flagOut     = flag.String("out", "BENCH_crossrun.json", "output path (\"-\" = stdout)")
+	flagPersist = flag.Bool("persist", false, "measure the persistent proof store (warm process restored from disk) instead of the in-memory cache")
+	flagCheck   = flag.String("check", "", "validate an existing bench JSON file and exit")
 )
+
+// persistReport is the emitted document in -persist mode: a cold process
+// populates the proof store, then a fresh-cache process restores from disk.
+type persistReport struct {
+	Schema string   `json:"schema"`
+	Design string   `json:"design"`
+	Safe   []string `json:"safe"`
+	Runs   int      `json:"runs"`
+
+	ColdWallMs []float64 `json:"cold_wall_ms"`
+	WarmWallMs []float64 `json:"warm_wall_ms"`
+
+	WarmQueries      int64   `json:"warm_queries"`
+	WarmDiskHits     int64   `json:"warm_disk_hits"`
+	RestoredRecords  int64   `json:"restored_records"`
+	DiskFlushes      int64   `json:"disk_flushes"`
+	WallReductionPct float64 `json:"wall_reduction_pct"`
+	DiskHitRatePct   float64 `json:"disk_hit_rate_pct"`
+}
 
 // report is the emitted document.
 type report struct {
@@ -54,7 +85,15 @@ func main() {
 		check(*flagCheck)
 		return
 	}
-	rep := run()
+	var rep any
+	if *flagPersist {
+		if !outSet() && *flagOut == "BENCH_crossrun.json" {
+			*flagOut = "BENCH_proofdb.json"
+		}
+		rep = runPersist()
+	} else {
+		rep = run()
+	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		die(err)
@@ -67,8 +106,24 @@ func main() {
 	if err := os.WriteFile(*flagOut, out, 0o644); err != nil {
 		die(err)
 	}
-	fmt.Printf("benchjson: %s: wall -%.1f%%, encoded clauses -%.1f%% (warm vs cold, %d runs)\n",
-		*flagOut, rep.WallReductionPct, rep.EncReductionPct, rep.Runs)
+	switch r := rep.(type) {
+	case *report:
+		fmt.Printf("benchjson: %s: wall -%.1f%%, encoded clauses -%.1f%% (warm vs cold, %d runs)\n",
+			*flagOut, r.WallReductionPct, r.EncReductionPct, r.Runs)
+	case *persistReport:
+		fmt.Printf("benchjson: %s: wall -%.1f%%, disk hit rate %.1f%% (warm process vs cold, %d runs)\n",
+			*flagOut, r.WallReductionPct, r.DiskHitRatePct, r.Runs)
+	}
+}
+
+// outSet reports whether the user explicitly passed -out.
+func outSet() (set bool) {
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			set = true
+		}
+	})
+	return
 }
 
 func die(err error) {
@@ -175,6 +230,75 @@ func run() *report {
 	return rep
 }
 
+// runPersist measures the warm-start-from-disk row. Two "processes" are
+// simulated inside one binary: each gets a brand-new VerifyCache (so no
+// in-memory state carries over) bound to the same on-disk store, with
+// CloseProofDBs between them standing in for process exit.
+func runPersist() *persistReport {
+	tgt := buildDesign(*flagDesign)
+	safe := defaultSafe(*flagDesign)
+	if *flagSafe != "" {
+		safe = strings.Split(*flagSafe, ",")
+		for i := range safe {
+			safe[i] = strings.TrimSpace(safe[i])
+		}
+	}
+	dir, err := os.MkdirTemp("", "hh-benchjson-*")
+	if err != nil {
+		die(err)
+	}
+	defer os.RemoveAll(dir)
+
+	rep := &persistReport{Schema: persistSchema, Design: tgt.Name, Safe: safe, Runs: *flagRuns}
+
+	verify := func(a *hh.Analysis) *hh.Result {
+		res, err := a.Verify(safe)
+		if err != nil {
+			die(err)
+		}
+		if res.Invariant == nil {
+			die(fmt.Errorf("%s: verification failed: %s", tgt.Name, res.Reason))
+		}
+		return res
+	}
+	process := func(wall *[]float64) *hh.Result {
+		opts := hh.DefaultAnalysisOptions()
+		opts.Learner.Cache = hh.NewVerifyCache()
+		opts.Learner.CacheDir = dir
+		a, err := hh.NewAnalysis(tgt, opts)
+		if err != nil {
+			die(err)
+		}
+		var last *hh.Result
+		for i := 0; i < *flagRuns; i++ {
+			start := time.Now()
+			last = verify(a)
+			*wall = append(*wall, float64(time.Since(start).Microseconds())/1000)
+		}
+		return last
+	}
+
+	cold := process(&rep.ColdWallMs)
+	rep.DiskFlushes = cold.Stats.CacheDiskFlushes
+	if err := hh.CloseProofDBs(); err != nil { // simulated process exit
+		die(err)
+	}
+
+	warm := process(&rep.WarmWallMs)
+	rep.WarmQueries = warm.Stats.Queries
+	rep.WarmDiskHits = warm.Stats.CacheDiskHits
+	rep.RestoredRecords = warm.Stats.CacheDiskLoads
+	if err := hh.CloseProofDBs(); err != nil {
+		die(err)
+	}
+
+	rep.WallReductionPct = reduction(sumF(rep.ColdWallMs), sumF(rep.WarmWallMs))
+	if rep.WarmQueries > 0 {
+		rep.DiskHitRatePct = 100 * float64(rep.WarmDiskHits) / float64(rep.WarmQueries)
+	}
+	return rep
+}
+
 func sumF(xs []float64) (s float64) {
 	for _, x := range xs {
 		s += x
@@ -203,15 +327,25 @@ func check(path string) {
 	if err != nil {
 		die(err)
 	}
+	fail := func(format string, args ...any) {
+		die(fmt.Errorf("%s: %s", path, fmt.Sprintf(format, args...)))
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		die(fmt.Errorf("%s: %w", path, err))
+	}
+	if probe.Schema == persistSchema {
+		checkPersist(path, raw, fail)
+		return
+	}
 	var rep report
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		die(fmt.Errorf("%s: %w", path, err))
 	}
-	fail := func(format string, args ...any) {
-		die(fmt.Errorf("%s: %s", path, fmt.Sprintf(format, args...)))
-	}
 	if rep.Schema != schema {
-		fail("schema %q, want %q", rep.Schema, schema)
+		fail("schema %q, want %q or %q", rep.Schema, schema, persistSchema)
 	}
 	if rep.Runs <= 0 {
 		fail("runs = %d", rep.Runs)
@@ -235,4 +369,36 @@ func check(path string) {
 	}
 	fmt.Printf("benchjson: %s OK (%s, wall -%.1f%%, encoded clauses -%.1f%%)\n",
 		path, rep.Design, rep.WallReductionPct, rep.EncReductionPct)
+}
+
+// checkPersist validates a -persist emission. The disk hit rate floor here is
+// deliberately conservative (50%); the tight >=90% bound is asserted by the
+// proof-store integration test, where run conditions are controlled.
+func checkPersist(path string, raw []byte, fail func(string, ...any)) {
+	var rep persistReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		die(fmt.Errorf("%s: %w", path, err))
+	}
+	if rep.Runs <= 0 {
+		fail("runs = %d", rep.Runs)
+	}
+	for name, n := range map[string]int{
+		"cold_wall_ms": len(rep.ColdWallMs),
+		"warm_wall_ms": len(rep.WarmWallMs),
+	} {
+		if n != rep.Runs {
+			fail("%s has %d entries, want %d", name, n, rep.Runs)
+		}
+	}
+	if rep.RestoredRecords <= 0 {
+		fail("restored_records = %d, want > 0", rep.RestoredRecords)
+	}
+	if rep.WarmQueries <= 0 {
+		fail("warm_queries = %d, want > 0", rep.WarmQueries)
+	}
+	if rep.DiskHitRatePct < 50 {
+		fail("disk_hit_rate_pct = %.1f, want >= 50", rep.DiskHitRatePct)
+	}
+	fmt.Printf("benchjson: %s OK (%s, wall -%.1f%%, disk hit rate %.1f%%)\n",
+		path, rep.Design, rep.WallReductionPct, rep.DiskHitRatePct)
 }

@@ -370,12 +370,18 @@ func ablations() {
 		} else {
 			size = res.Invariant.Size()
 		}
+		var diskHits int64
 		if res.Stats != nil {
 			tasks, backtracks = res.Stats.Tasks, res.Stats.Backtracks
 			encClauses, solvers = res.Stats.EncodedClauses, res.Stats.SolverAllocs
+			diskHits = res.Stats.CacheDiskHits
 		}
-		fmt.Printf("%-34s %-5s time=%8.2fs inv=%4d tasks=%5d backtracks=%5d solvers=%5d enc-clauses=%9d\n",
-			name, status, time.Since(start).Seconds(), size, tasks, backtracks, solvers, encClauses)
+		extra := ""
+		if diskHits > 0 {
+			extra = fmt.Sprintf(" disk-hits=%d", diskHits)
+		}
+		fmt.Printf("%-34s %-5s time=%8.2fs inv=%4d tasks=%5d backtracks=%5d solvers=%5d enc-clauses=%9d%s\n",
+			name, status, time.Since(start).Seconds(), size, tasks, backtracks, solvers, encClauses, extra)
 	}
 
 	run("default", hh.DefaultAnalysisOptions())
@@ -410,6 +416,25 @@ func ablations() {
 		}
 	}
 	run("warm cross-run cache (2nd run)", o)
+
+	// Persistent proof store: a cold process (empty store) vs. a fresh
+	// process restored from the same on-disk store. Fresh VerifyCache
+	// instances on both rows make the second a faithful model of a new
+	// process whose only warmth is what proofdb restored from disk.
+	if dir, err := os.MkdirTemp("", "hh-proofdb-*"); err == nil {
+		o = hh.DefaultAnalysisOptions()
+		o.Learner.Cache = hh.NewVerifyCache()
+		o.Learner.CacheDir = dir
+		run("proofdb cold process (empty store)", o)
+		hh.CloseProofDBs() // simulate process exit: final flush, drop state
+
+		o = hh.DefaultAnalysisOptions()
+		o.Learner.Cache = hh.NewVerifyCache()
+		o.Learner.CacheDir = dir
+		run("proofdb warm process (restored)", o)
+		hh.CloseProofDBs()
+		os.RemoveAll(dir)
+	}
 
 	o = hh.DefaultAnalysisOptions()
 	o.Examples.RunsPerInstr = 1

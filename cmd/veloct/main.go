@@ -30,6 +30,9 @@ var (
 	flagWorkers    = flag.Int("workers", 1, "parallel learner workers (0 = GOMAXPROCS)")
 	flagIncr       = flag.Bool("incremental", true, "pooled incremental SAT backend (false: fresh solver per abduction query)")
 	flagCache      = flag.Bool("cache", true, "cross-run verification cache: share pooled solvers, learnt clauses and verdicts across Verify calls")
+	flagCacheDir   = flag.String("cache-dir", "", "persist the verification cache (learnt clauses + verdicts) in this directory across process runs")
+	flagPersist    = flag.Bool("persist", false, "shorthand for -cache-dir "+hh.DefaultCacheDir)
+	flagVerbose    = flag.Bool("v", false, "verbose instrumentation (cache counter report)")
 	flagShowInv    = flag.Bool("show-invariant", false, "print every predicate of the learned invariant")
 	flagAudit      = flag.Bool("audit", true, "monolithically re-verify the learned invariant")
 	flagSeed       = flag.Int64("seed", 1, "example-generation seed")
@@ -48,6 +51,15 @@ func main() {
 	opts.Learner.Workers = *flagWorkers
 	opts.Learner.IncrementalSolver = *flagIncr
 	opts.Learner.CrossRunCache = *flagCache
+	if *flagPersist && *flagCacheDir == "" {
+		*flagCacheDir = hh.DefaultCacheDir
+	}
+	if *flagCacheDir != "" {
+		// Every Learn flushes the store at shutdown; CloseProofDBs below is
+		// the final durability point on clean exits.
+		opts.Learner.CacheDir = *flagCacheDir
+		defer hh.CloseProofDBs()
+	}
 	opts.Examples.Seed = *flagSeed
 	analysis, err := hh.NewAnalysis(tgt, opts)
 	if err != nil {
@@ -62,6 +74,22 @@ func main() {
 		return
 	}
 	verify(analysis, strings.Split(*flagSafe, ","))
+}
+
+// reportCacheCounters gates the cache counter block: scripted runs keep
+// clean output unless the user asked for verbosity or touched a cache flag.
+func reportCacheCounters() bool {
+	if *flagVerbose {
+		return true
+	}
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "cache", "cache-dir", "persist":
+			set = true
+		}
+	})
+	return set
 }
 
 func die(err error) {
@@ -141,12 +169,17 @@ func report(a *hh.Analysis, res *hh.Result, elapsed time.Duration) {
 		fmt.Printf("  solvers=%d pool-reuses=%d encoded gates=%d clauses=%d\n",
 			res.Stats.SolverAllocs, res.Stats.PoolReuses,
 			res.Stats.EncodedGates, res.Stats.EncodedClauses)
-		if *flagCache {
-			fmt.Printf("  cache: enc hit/miss=%d/%d verdict-hits=%d clauses replayed/exported=%d/%d evictions=%d\n",
+		if *flagCache && reportCacheCounters() {
+			fmt.Printf("  cache: enc hit/miss=%d/%d verdict-hits=%d clauses replayed/exported=%d/%d evictions=%d entries=%d (~%dB)\n",
 				res.Stats.CacheEncoderHits, res.Stats.CacheEncoderMisses,
 				res.Stats.CacheVerdictHits,
 				res.Stats.CacheClausesReplayed, res.Stats.CacheClausesExported,
-				res.Stats.CacheEvictions)
+				res.Stats.CacheEvictions, res.Stats.CacheEntries, res.Stats.CacheBytes)
+			if *flagCacheDir != "" {
+				fmt.Printf("  proofdb %s: disk-hits=%d loaded=%d flushes=%d\n",
+					*flagCacheDir, res.Stats.CacheDiskHits,
+					res.Stats.CacheDiskLoads, res.Stats.CacheDiskFlushes)
+			}
 			fmt.Printf("  %s\n", hh.SharedVerifyCache())
 		}
 		fmt.Printf("  median query %v, median task %v, p95 task %v\n",

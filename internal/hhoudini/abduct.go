@@ -57,8 +57,11 @@ func (l *Learner) abduct(target Pred, cands []Pred, pool *encoderPool) (abductRe
 	var vk verdictKey
 	if l.cache != nil {
 		vk = verdictKeyFor(target, cands, l.opts.MinimizeCores)
-		if res, ok := l.cache.lookupVerdict(l.cacheKey, vk, target, cands); ok {
+		if res, fromDisk, ok := l.cache.lookupVerdict(l.cacheKey, vk, target, cands); ok {
 			atomic.AddInt64(&l.stats.CacheVerdictHits, 1)
+			if fromDisk {
+				atomic.AddInt64(&l.stats.CacheDiskHits, 1)
+			}
 			return res, nil
 		}
 	}

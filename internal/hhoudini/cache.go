@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"hhoudini/internal/circuit"
+	"hhoudini/internal/proofdb"
 )
 
 // VerifyCache is the process-wide, concurrency-safe verification cache that
@@ -59,6 +60,14 @@ type VerifyCache struct {
 	verdictMisses int64
 	clausesStored int64
 	replayed      int64
+
+	// Persistence counters (internal/proofdb wiring): records restored
+	// from a disk snapshot, verdict hits answered by restored memos, and
+	// flushes of this cache into a proof store.
+	diskClausesLoaded  int64
+	diskVerdictsLoaded int64
+	diskVerdictHits    int64
+	diskFlushes        int64
 }
 
 // Default sizing. The evaluated designs encode a few hundred to a few
@@ -104,6 +113,10 @@ type verdictKey struct{ a, b uint64 }
 type verdictVal struct {
 	ok    bool
 	preds []string // abduct member IDs (all drawn from the query's candidates)
+	// fromDisk marks verdicts restored from a persistent proof store; hits
+	// on them are additionally counted as disk hits (the warm-process
+	// acceptance metric).
+	fromDisk bool
 }
 
 // NewVerifyCache returns an empty cache with default bounds.
@@ -141,10 +154,21 @@ type CacheCounters struct {
 	VerdictMisses int64
 	ClausesStored int64 // learnt clauses admitted to clause stores
 	Replayed      int64 // learnt clauses replayed into solvers
+
+	// Persistence counters (zero unless a proof store is attached).
+	DiskClausesLoaded  int64 // clauses restored from a disk snapshot
+	DiskVerdictsLoaded int64 // verdicts restored from a disk snapshot
+	DiskVerdictHits    int64 // verdict hits answered by restored memos
+	DiskFlushes        int64 // snapshots of this cache merged into a store
+
+	// Introspection (computed at snapshot time; see Len and Bytes).
+	Entries     int64 // durable records held: stored clauses + verdicts
+	ApproxBytes int64 // approximate heap bytes of the durable layers
 }
 
 // Counters returns a point-in-time snapshot of the cache counters.
 func (vc *VerifyCache) Counters() CacheCounters {
+	entries, bytes := vc.lenBytes()
 	return CacheCounters{
 		EncoderHits:   atomic.LoadInt64(&vc.encoderHits),
 		EncoderMisses: atomic.LoadInt64(&vc.encoderMisses),
@@ -154,16 +178,78 @@ func (vc *VerifyCache) Counters() CacheCounters {
 		VerdictMisses: atomic.LoadInt64(&vc.verdictMisses),
 		ClausesStored: atomic.LoadInt64(&vc.clausesStored),
 		Replayed:      atomic.LoadInt64(&vc.replayed),
+
+		DiskClausesLoaded:  atomic.LoadInt64(&vc.diskClausesLoaded),
+		DiskVerdictsLoaded: atomic.LoadInt64(&vc.diskVerdictsLoaded),
+		DiskVerdictHits:    atomic.LoadInt64(&vc.diskVerdictHits),
+		DiskFlushes:        atomic.LoadInt64(&vc.diskFlushes),
+
+		Entries:     int64(entries),
+		ApproxBytes: bytes,
 	}
+}
+
+// Len returns the number of durable records the cache currently holds —
+// stored learnt clauses plus memoized verdicts across every key. Pooled
+// encoders are not counted: they are transient solver state, bounded
+// separately by the clause budget.
+func (vc *VerifyCache) Len() int {
+	n, _ := vc.lenBytes()
+	return n
+}
+
+// Bytes returns an approximation of the heap footprint of the durable
+// layers (clause stores and verdict memos). The estimate counts string
+// payloads plus fixed per-record overheads; it exists so eviction behavior
+// is observable, not as an accounting guarantee.
+func (vc *VerifyCache) Bytes() int64 {
+	_, b := vc.lenBytes()
+	return b
+}
+
+// lenBytes computes Len and Bytes in one pass under the lock.
+func (vc *VerifyCache) lenBytes() (int, int64) {
+	const (
+		litOverhead     = 24 // NamedLit struct: string header + bool + pad
+		clauseOverhead  = 32 // storedClause + slice header + map entry share
+		verdictOverhead = 64 // verdictKey + verdictVal + map entry share
+	)
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	n := 0
+	var bytes int64
+	for key, e := range vc.entries {
+		bytes += int64(len(key))
+		n += len(e.clauses) + len(e.verdicts)
+		for _, sc := range e.clauses {
+			bytes += clauseOverhead
+			for _, nl := range sc.lits {
+				bytes += litOverhead + int64(len(nl.Name))
+			}
+		}
+		for _, val := range e.verdicts {
+			bytes += verdictOverhead
+			for _, id := range val.preds {
+				bytes += 16 + int64(len(id))
+			}
+		}
+	}
+	return n, bytes
 }
 
 // String renders the counters for tool output.
 func (vc *VerifyCache) String() string {
 	c := vc.Counters()
-	return fmt.Sprintf(
-		"verify-cache{enc hit/miss %d/%d, checkins %d, evictions %d, verdict hit/miss %d/%d, clauses stored/replayed %d/%d}",
+	s := fmt.Sprintf(
+		"verify-cache{enc hit/miss %d/%d, checkins %d, evictions %d, verdict hit/miss %d/%d, clauses stored/replayed %d/%d, entries %d (~%dB)",
 		c.EncoderHits, c.EncoderMisses, c.Checkins, c.Evictions,
-		c.VerdictHits, c.VerdictMisses, c.ClausesStored, c.Replayed)
+		c.VerdictHits, c.VerdictMisses, c.ClausesStored, c.Replayed,
+		c.Entries, c.ApproxBytes)
+	if c.DiskClausesLoaded+c.DiskVerdictsLoaded+c.DiskVerdictHits+c.DiskFlushes > 0 {
+		s += fmt.Sprintf(", disk loaded %d/%d hits %d flushes %d",
+			c.DiskClausesLoaded, c.DiskVerdictsLoaded, c.DiskVerdictHits, c.DiskFlushes)
+	}
+	return s + "}"
 }
 
 // Reset drops every cached entry (counters are preserved). Intended for
@@ -414,14 +500,16 @@ func verdictKeyFor(target Pred, cands []Pred, minimize bool) verdictKey {
 
 // lookupVerdict consults the memo and, on a hit, rebuilds the abduct from
 // the current candidate instances (IDs are canonical within a fingerprint:
-// equal IDs ⇒ semantically identical predicates).
-func (vc *VerifyCache) lookupVerdict(key string, vk verdictKey, target Pred, cands []Pred) (abductResult, bool) {
+// equal IDs ⇒ semantically identical predicates). The second result
+// reports whether the answering memo entry was restored from a persistent
+// proof store (a "disk hit").
+func (vc *VerifyCache) lookupVerdict(key string, vk verdictKey, target Pred, cands []Pred) (abductResult, bool, bool) {
 	vc.mu.Lock()
 	e, ok := vc.entries[key]
 	if !ok {
 		vc.mu.Unlock()
 		atomic.AddInt64(&vc.verdictMisses, 1)
-		return abductResult{}, false
+		return abductResult{}, false, false
 	}
 	vc.useSeq++
 	e.lastUse = vc.useSeq
@@ -429,11 +517,17 @@ func (vc *VerifyCache) lookupVerdict(key string, vk verdictKey, target Pred, can
 	vc.mu.Unlock()
 	if !ok {
 		atomic.AddInt64(&vc.verdictMisses, 1)
-		return abductResult{}, false
+		return abductResult{}, false, false
+	}
+	hit := func() {
+		atomic.AddInt64(&vc.verdictHits, 1)
+		if val.fromDisk {
+			atomic.AddInt64(&vc.diskVerdictHits, 1)
+		}
 	}
 	if !val.ok {
-		atomic.AddInt64(&vc.verdictHits, 1)
-		return abductResult{ok: false}, true
+		hit()
+		return abductResult{ok: false}, val.fromDisk, true
 	}
 	byID := make(map[string]Pred, len(cands)+1)
 	for _, c := range cands {
@@ -447,12 +541,12 @@ func (vc *VerifyCache) lookupVerdict(key string, vk verdictKey, target Pred, can
 			// Defensive: treat an unmappable memo entry as a miss rather
 			// than fabricating predicates.
 			atomic.AddInt64(&vc.verdictMisses, 1)
-			return abductResult{}, false
+			return abductResult{}, false, false
 		}
 		preds[i] = p
 	}
-	atomic.AddInt64(&vc.verdictHits, 1)
-	return abductResult{preds: preds, ok: true}, true
+	hit()
+	return abductResult{preds: preds, ok: true}, val.fromDisk, true
 }
 
 // storeVerdict records one computed abduction verdict.
@@ -475,3 +569,108 @@ func (vc *VerifyCache) storeVerdict(key string, vk verdictKey, res abductResult)
 	}
 	e.verdicts[vk] = val
 }
+
+// --- Persistence (internal/proofdb exchange) --------------------------------
+
+// SnapshotData exports the cache's durable layers — the per-key clause
+// stores and verdict memos — as a portable proofdb snapshot. Pooled
+// encoders are deliberately excluded: they are live solver state that
+// cannot be serialized, and everything irreplaceable about them (their
+// learnt clauses) is already harvested into the clause store at check-in.
+// Keys are emitted in sorted order, so equal cache contents serialize
+// identically. Safe to call concurrently with learners using the cache:
+// the snapshot is assembled under the cache lock.
+func (vc *VerifyCache) SnapshotData() *proofdb.Snapshot {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	keys := make([]string, 0, len(vc.entries))
+	for k := range vc.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	snap := &proofdb.Snapshot{}
+	for _, k := range keys {
+		e := vc.entries[k]
+		kr := proofdb.KeyRecord{Key: k}
+		for _, sc := range e.clauses {
+			lits := make([]proofdb.Lit, len(sc.lits))
+			for i, nl := range sc.lits {
+				lits[i] = proofdb.Lit{Name: nl.Name, Neg: nl.Neg}
+			}
+			kr.Clauses = append(kr.Clauses, proofdb.Clause{Lits: lits})
+		}
+		vks := make([]verdictKey, 0, len(e.verdicts))
+		for vk := range e.verdicts {
+			vks = append(vks, vk)
+		}
+		sort.Slice(vks, func(i, j int) bool {
+			if vks[i].a != vks[j].a {
+				return vks[i].a < vks[j].a
+			}
+			return vks[i].b < vks[j].b
+		})
+		for _, vk := range vks {
+			val := e.verdicts[vk]
+			kr.Verdicts = append(kr.Verdicts, proofdb.Verdict{
+				A: vk.a, B: vk.b, OK: val.ok,
+				Preds: append([]string(nil), val.preds...),
+			})
+		}
+		if len(kr.Clauses)+len(kr.Verdicts) > 0 {
+			snap.Keys = append(snap.Keys, kr)
+		}
+	}
+	return snap
+}
+
+// Restore merges a proofdb snapshot into the cache: stored clauses join
+// the per-key clause stores (deduped, up to the per-key cap) and verdicts
+// are installed where absent, marked as disk-restored so hits on them are
+// observable (CacheCounters.DiskVerdictHits, Stats.CacheDiskHits). In-memory
+// entries always win over restored ones: a verdict this process computed is
+// at least as fresh as anything on disk. Restoring more keys than the
+// cache's key budget LRU-evicts the earliest restored ones, exactly as live
+// insertion would. Returns the number of clauses and verdicts admitted.
+func (vc *VerifyCache) Restore(s *proofdb.Snapshot) (clauses, verdicts int) {
+	if s == nil {
+		return 0, 0
+	}
+	vc.mu.Lock()
+	for _, kr := range s.Keys {
+		e := vc.entryLocked(kr.Key)
+		for _, cl := range kr.Clauses {
+			if len(cl.Lits) == 0 {
+				continue
+			}
+			lits := make([]circuit.NamedLit, len(cl.Lits))
+			for i, l := range cl.Lits {
+				lits[i] = circuit.NamedLit{Name: l.Name, Neg: l.Neg}
+			}
+			if e.addClauseLocked(lits, vc.maxStore) {
+				clauses++
+			}
+		}
+		for _, v := range kr.Verdicts {
+			vk := verdictKey{a: v.A, b: v.B}
+			if _, exists := e.verdicts[vk]; exists {
+				continue
+			}
+			if len(e.verdicts) >= vc.maxVerdicts {
+				continue
+			}
+			e.verdicts[vk] = verdictVal{
+				ok:       v.OK,
+				preds:    append([]string(nil), v.Preds...),
+				fromDisk: true,
+			}
+			verdicts++
+		}
+	}
+	vc.mu.Unlock()
+	atomic.AddInt64(&vc.diskClausesLoaded, int64(clauses))
+	atomic.AddInt64(&vc.diskVerdictsLoaded, int64(verdicts))
+	return clauses, verdicts
+}
+
+// noteDiskFlush counts one merge of this cache into a persistent store.
+func (vc *VerifyCache) noteDiskFlush() { atomic.AddInt64(&vc.diskFlushes, 1) }

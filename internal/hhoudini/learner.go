@@ -45,6 +45,16 @@ type Options struct {
 	// Cache overrides the process-global shared cache (SharedCache) when
 	// CrossRunCache is on. Useful for tests and for isolating workloads.
 	Cache *VerifyCache
+	// CacheDir, when non-empty (and CrossRunCache is on for a cacheable
+	// system), binds the verification cache to a persistent proof store in
+	// that directory: the first Learner to name the directory restores the
+	// store's learnt clauses and verdict memos into the cache, and every
+	// Learn flushes the cache back at shutdown — so separate process
+	// invocations over the same design share warm starts. Unusable stores
+	// (corrupt, version-mismatched, unwritable) degrade to a cold start;
+	// they never fail the learner. See OpenProofDB for explicit lifecycle
+	// control and CloseProofDBs for the process-exit hook.
+	CacheDir string
 }
 
 // DefaultOptions mirror the paper's configuration (incremental,
@@ -93,6 +103,18 @@ type Stats struct {
 	CacheClausesReplayed int64
 	CacheClausesExported int64
 	CacheEvictions       int64
+
+	// Persistent-proof-store counters (Options.CacheDir / OpenProofDB).
+	// CacheDiskHits counts abduction queries answered by a verdict memo
+	// restored from disk (the warm-process acceptance metric); the others
+	// snapshot the store/cache state at Learn shutdown: records restored
+	// at open, flushes of this learner's cache, and the cache's durable
+	// footprint (VerifyCache.Len / Bytes).
+	CacheDiskHits    int64
+	CacheDiskLoads   int64
+	CacheDiskFlushes int64
+	CacheEntries     int64
+	CacheBytes       int64
 
 	WallTime time.Duration
 
@@ -239,6 +261,10 @@ type Learner struct {
 	// the isolated PR 1 learner.
 	cache    *VerifyCache
 	cacheKey string
+	// pdb is the persistent proof store bound via Options.CacheDir (nil
+	// when persistence is off or the store is unusable). Learn flushes the
+	// cache into it at shutdown.
+	pdb *ProofDB
 
 	// init is the reset-state snapshot, computed once per learner;
 	// initEval memoizes per-predicate init-state evaluation by pred ID
@@ -288,6 +314,11 @@ func NewLearner(sys *System, mine MineOracle, opts Options) *Learner {
 			if l.cache == nil {
 				l.cache = sharedCache
 			}
+			if opts.CacheDir != "" {
+				// Best-effort: an unusable store leaves pdb nil and the
+				// learner runs with the in-memory cache alone.
+				l.pdb = boundProofDB(opts.CacheDir, l.cache)
+			}
 		}
 	}
 	l.cond = sync.NewCond(&l.mu)
@@ -316,6 +347,7 @@ func (l *Learner) FailedPreds() []string {
 func (l *Learner) Learn(targets []Pred) (*Invariant, error) {
 	start := time.Now()
 	defer func() { l.stats.WallTime += time.Since(start) }()
+	defer l.finishPersist()
 
 	// The property must at least hold initially.
 	for _, t := range targets {
@@ -356,6 +388,26 @@ func (l *Learner) Learn(targets []Pred) (*Invariant, error) {
 		}
 	}
 	return l.assembleLocked(targets)
+}
+
+// finishPersist runs at Learn shutdown: it snapshots the cache's durable
+// footprint into Stats and, when a proof store is bound, flushes the cache
+// to disk (the "flush-on-Learn-shutdown" half of the persistence story; the
+// optional background flusher covers long-lived learners in between).
+func (l *Learner) finishPersist() {
+	if l.cache == nil {
+		return
+	}
+	atomic.StoreInt64(&l.stats.CacheEntries, int64(l.cache.Len()))
+	atomic.StoreInt64(&l.stats.CacheBytes, l.cache.Bytes())
+	if l.pdb == nil {
+		return
+	}
+	if err := l.pdb.Flush(); err == nil {
+		atomic.AddInt64(&l.stats.CacheDiskFlushes, 1)
+	}
+	st := l.pdb.Stats()
+	atomic.StoreInt64(&l.stats.CacheDiskLoads, st.ClausesLoaded+st.VerdictsLoaded)
 }
 
 func (l *Learner) getOrCreateLocked(p Pred) *entry {

@@ -1,0 +1,196 @@
+package hhoudini
+
+// Persistence wiring: binds VerifyCaches to an on-disk proof store
+// (internal/proofdb) so separate process invocations share warm starts.
+// The soundness argument is unchanged from the in-memory cache: records
+// are keyed by (circuit fingerprint, EnvKey), so a restored clause or
+// verdict is only ever consulted for a system with the identical structural
+// and environmental identity it was derived under.
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"hhoudini/internal/proofdb"
+)
+
+// ProofDBConfig configures a persistent proof-store binding.
+type ProofDBConfig struct {
+	// Store tunes the on-disk side (staleness bound, byte budget, clock).
+	Store proofdb.Options
+	// FlushInterval, when positive, starts a background flusher goroutine
+	// that periodically persists every attached cache; Close stops it
+	// cleanly (context cancellation, final flush included). Zero leaves
+	// flushing to Learn shutdown and explicit Flush/Close calls.
+	FlushInterval time.Duration
+}
+
+// ProofDB binds an open proof store to one or more VerifyCaches: opening
+// restores the store's contents into the cache, and every Flush merges the
+// caches' current durable state back and atomically rewrites the file.
+type ProofDB struct {
+	db *proofdb.DB
+
+	mu       sync.Mutex
+	attached []*VerifyCache
+	seen     map[*VerifyCache]bool
+	closed   bool
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// OpenProofDB opens (creating if needed) the proof store in dir, restores
+// its contents into vc (when non-nil), and returns the binding. Data-level
+// corruption — torn records, bit flips, a version-mismatched file — is
+// never an error; the store just loads colder (see proofdb.Stats). Errors
+// are environmental (unwritable directory).
+func OpenProofDB(dir string, vc *VerifyCache, cfg ProofDBConfig) (*ProofDB, error) {
+	db, err := proofdb.Open(dir, cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	p := &ProofDB{db: db, seen: make(map[*VerifyCache]bool)}
+	if vc != nil {
+		p.Attach(vc)
+	}
+	if cfg.FlushInterval > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		p.cancel = cancel
+		p.done = make(chan struct{})
+		go p.flushLoop(ctx, cfg.FlushInterval)
+	}
+	return p, nil
+}
+
+// Attach restores the store's contents into vc and registers it as a flush
+// source. Idempotent per cache.
+func (p *ProofDB) Attach(vc *VerifyCache) {
+	if vc == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.closed || p.seen[vc] {
+		p.mu.Unlock()
+		return
+	}
+	p.seen[vc] = true
+	p.attached = append(p.attached, vc)
+	p.mu.Unlock()
+	// Restore outside p.mu: Snapshot and Restore take their own locks.
+	vc.Restore(p.db.Snapshot())
+}
+
+// Flush merges the durable state of every attached cache into the store and
+// atomically rewrites the file (crash-safe: temp file + fsync + rename).
+func (p *ProofDB) Flush() error {
+	p.mu.Lock()
+	caches := append([]*VerifyCache(nil), p.attached...)
+	p.mu.Unlock()
+	for _, vc := range caches {
+		p.db.Merge(vc.SnapshotData())
+		vc.noteDiskFlush()
+	}
+	return p.db.Flush()
+}
+
+// flushLoop is the optional background flusher: interval flushes until the
+// context is cancelled, then one final flush before signalling done.
+func (p *ProofDB) flushLoop(ctx context.Context, interval time.Duration) {
+	defer close(p.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.Flush() // best-effort; Close performs the last durable flush
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Stats returns the underlying store's counters.
+func (p *ProofDB) Stats() proofdb.Stats { return p.db.Stats() }
+
+// Path returns the store file path.
+func (p *ProofDB) Path() string { return p.db.Path() }
+
+// Close stops the background flusher (if any), performs a final flush, and
+// marks the binding closed. Safe to call more than once.
+func (p *ProofDB) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	cancel, done := p.cancel, p.done
+	p.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+	err := p.Flush()
+	if cerr := p.db.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// --- Options.CacheDir registry ----------------------------------------------
+//
+// Learners configured with Options.CacheDir share one ProofDB per directory
+// for the life of the process: the first learner to name a directory opens
+// (and loads) the store; every learner's cache is attached on construction;
+// Learn flushes at shutdown. CloseProofDBs is the process-exit hook.
+
+var proofDBReg = struct {
+	sync.Mutex
+	open map[string]*ProofDB
+}{open: make(map[string]*ProofDB)}
+
+// boundProofDB returns the process-wide ProofDB for dir (opening it on
+// first use) with vc attached. Failures degrade to nil — the learner then
+// runs with a purely in-memory cache, which is the documented cold-start
+// behaviour for unusable stores.
+func boundProofDB(dir string, vc *VerifyCache) *ProofDB {
+	key := dir
+	if abs, err := filepath.Abs(dir); err == nil {
+		key = abs
+	}
+	proofDBReg.Lock()
+	p := proofDBReg.open[key]
+	if p == nil {
+		var err error
+		p, err = OpenProofDB(dir, nil, ProofDBConfig{})
+		if err != nil {
+			proofDBReg.Unlock()
+			return nil
+		}
+		proofDBReg.open[key] = p
+	}
+	proofDBReg.Unlock()
+	p.Attach(vc)
+	return p
+}
+
+// CloseProofDBs flushes and closes every proof store opened through
+// Options.CacheDir and empties the registry (so a later Learner re-opens —
+// and re-reads — the file). It returns the first error encountered.
+// Explicitly opened ProofDBs (OpenProofDB) are not affected.
+func CloseProofDBs() error {
+	proofDBReg.Lock()
+	open := proofDBReg.open
+	proofDBReg.open = make(map[string]*ProofDB)
+	proofDBReg.Unlock()
+	var first error
+	for _, p := range open {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,304 @@
+package hhoudini
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"hhoudini/internal/proofdb"
+)
+
+// learnOnce runs one Learn of the backtracking scenario under opts and
+// returns the learner (for stats) and the invariant.
+func learnOnce(t *testing.T, opts Options) (*Learner, *Invariant) {
+	t.Helper()
+	sys, universe, target := backtrackSystem(t)
+	l := NewLearner(sys, minerOf(universe...), opts)
+	inv, err := l.Learn([]Pred{target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv == nil {
+		t.Fatal("expected an invariant")
+	}
+	if err := Audit(sys, inv); err != nil {
+		t.Fatal(err)
+	}
+	return l, inv
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	cache := NewVerifyCache()
+	learnOnce(t, warmOptions(cache))
+
+	snap := cache.SnapshotData()
+	if snap.Len() == 0 {
+		t.Fatal("Learn populated nothing durable")
+	}
+
+	fresh := NewVerifyCache()
+	clauses, verdicts := fresh.Restore(snap)
+	if clauses+verdicts != snap.Len() {
+		t.Fatalf("Restore admitted %d+%d records, snapshot had %d", clauses, verdicts, snap.Len())
+	}
+	if got := fresh.SnapshotData(); !reflect.DeepEqual(got, snap) {
+		t.Fatalf("restore round trip mismatch:\n got %+v\nwant %+v", got, snap)
+	}
+	if fresh.Len() != cache.Len() {
+		t.Fatalf("Len: restored %d, original %d", fresh.Len(), cache.Len())
+	}
+	c := fresh.Counters()
+	if c.DiskClausesLoaded != int64(clauses) || c.DiskVerdictsLoaded != int64(verdicts) {
+		t.Fatalf("disk-load counters %d/%d, want %d/%d",
+			c.DiskClausesLoaded, c.DiskVerdictsLoaded, clauses, verdicts)
+	}
+
+	// Restore is idempotent: everything is already present.
+	if c2, v2 := fresh.Restore(snap); c2 != 0 || v2 != 0 {
+		t.Fatalf("second Restore admitted %d/%d records", c2, v2)
+	}
+}
+
+func TestLenBytesIntrospection(t *testing.T) {
+	cache := NewVerifyCache()
+	if cache.Len() != 0 || cache.Bytes() != 0 {
+		t.Fatalf("empty cache reports Len=%d Bytes=%d", cache.Len(), cache.Bytes())
+	}
+	learnOnce(t, warmOptions(cache))
+	if cache.Len() == 0 {
+		t.Fatal("Len = 0 after a Learn")
+	}
+	if cache.Bytes() <= 0 {
+		t.Fatal("Bytes <= 0 after a Learn")
+	}
+	c := cache.Counters()
+	if c.Entries != int64(cache.Len()) || c.ApproxBytes != cache.Bytes() {
+		t.Fatalf("Counters entries/bytes %d/%d disagree with Len/Bytes %d/%d",
+			c.Entries, c.ApproxBytes, cache.Len(), cache.Bytes())
+	}
+}
+
+// TestProofDBWarmProcessRestart is the core persistence property at the
+// library level: a second "process" (fresh VerifyCache, same directory)
+// must answer >= 90% of its abduction queries from restored memos.
+func TestProofDBWarmProcessRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	// Process 1: cold store, populate, close.
+	cache1 := NewVerifyCache()
+	p1, err := OpenProofDB(dir, cache1, ProofDBConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, inv1 := learnOnce(t, warmOptions(cache1))
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Process 2: brand-new cache restored from the same directory.
+	cache2 := NewVerifyCache()
+	p2, err := OpenProofDB(dir, cache2, ProofDBConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	st := p2.Stats()
+	if st.ClausesLoaded+st.VerdictsLoaded == 0 {
+		t.Fatal("warm process restored nothing from disk")
+	}
+	l2, inv2 := learnOnce(t, warmOptions(cache2))
+	if !reflect.DeepEqual(ids(inv1), ids(inv2)) {
+		t.Fatalf("warm process learned a different invariant: %v vs %v", ids(inv2), ids(inv1))
+	}
+	s := l2.Stats()
+	if s.Queries == 0 {
+		t.Fatal("warm process made no queries; test is vacuous")
+	}
+	if s.CacheDiskHits < (s.Queries*9+9)/10 {
+		t.Fatalf("disk hits %d / queries %d: below the 90%% warm-start bar",
+			s.CacheDiskHits, s.Queries)
+	}
+	if cache2.Counters().DiskVerdictHits == 0 {
+		t.Fatal("cache counters saw no disk-restored verdict hits")
+	}
+}
+
+// TestOptionsCacheDirWarmRestart exercises the Options.CacheDir wiring end
+// to end: learners bound to a directory flush at Learn shutdown, and after
+// CloseProofDBs a fresh cache in the same directory starts warm.
+func TestOptionsCacheDirWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	o1 := warmOptions(NewVerifyCache())
+	o1.CacheDir = dir
+	l1, inv1 := learnOnce(t, o1)
+	if l1.Stats().CacheDiskFlushes == 0 {
+		t.Fatal("Learn shutdown did not flush the proof store")
+	}
+	if err := CloseProofDBs(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, proofdb.FileName)); err != nil {
+		t.Fatalf("store file missing after CloseProofDBs: %v", err)
+	}
+
+	o2 := warmOptions(NewVerifyCache())
+	o2.CacheDir = dir
+	l2, inv2 := learnOnce(t, o2)
+	defer CloseProofDBs()
+	if !reflect.DeepEqual(ids(inv1), ids(inv2)) {
+		t.Fatalf("warm restart learned a different invariant: %v vs %v", ids(inv2), ids(inv1))
+	}
+	s := l2.Stats()
+	if s.CacheDiskLoads == 0 {
+		t.Fatal("warm restart loaded nothing from disk")
+	}
+	if s.Queries == 0 || s.CacheDiskHits < (s.Queries*9+9)/10 {
+		t.Fatalf("disk hits %d / queries %d: below the 90%% warm-start bar",
+			s.CacheDiskHits, s.Queries)
+	}
+}
+
+// TestCacheDirCorruptStoreColdStart: a mangled store file must never fail a
+// Learn — it degrades to a cold start and is rewritten at shutdown.
+func TestCacheDirCorruptStoreColdStart(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, proofdb.FileName)
+	if err := os.WriteFile(path, []byte("\x00\xffnot a proof store at all\n\x01\x02"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	o := warmOptions(NewVerifyCache())
+	o.CacheDir = dir
+	l, _ := learnOnce(t, o)
+	if l.Stats().CacheDiskHits != 0 {
+		t.Fatal("corrupt store somehow produced disk hits")
+	}
+	if err := CloseProofDBs(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The shutdown flush replaced the garbage with a valid store.
+	db, err := proofdb.Open(dir, proofdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Snapshot().Len() == 0 {
+		t.Fatal("store not repopulated after the corrupt cold start")
+	}
+	if db.Stats().HeaderRejected || db.Stats().CorruptSkipped != 0 {
+		t.Fatalf("rewritten store still unreadable: %+v", db.Stats())
+	}
+}
+
+// TestCacheDirUnusableDirectoryDegrades: when the cache directory cannot be
+// created (a file occupies the path), the learner silently runs with the
+// in-memory cache only.
+func TestCacheDirUnusableDirectoryDegrades(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := warmOptions(NewVerifyCache())
+	o.CacheDir = blocker // MkdirAll over a regular file fails
+	l, _ := learnOnce(t, o)
+	if l.pdb != nil {
+		t.Fatal("learner bound a proof store under an unusable path")
+	}
+	if err := CloseProofDBs(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSnapshotWhileLearn hammers SnapshotData/Restore/Len/Bytes
+// from a background goroutine while a multi-worker Learn mutates the same
+// cache — the -race tier for the persistence read path.
+func TestConcurrentSnapshotWhileLearn(t *testing.T) {
+	cache := NewVerifyCache()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		scratch := NewVerifyCache()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := cache.SnapshotData()
+			scratch.Restore(snap)
+			_ = cache.Len()
+			_ = cache.Bytes()
+			_ = cache.Counters()
+		}
+	}()
+	o := warmOptions(cache)
+	o.Workers = 4
+	for i := 0; i < 3; i++ {
+		learnOnce(t, o)
+	}
+	close(stop)
+	<-done
+}
+
+// TestBackgroundFlusher: the interval flusher persists without explicit
+// Flush calls and shuts down cleanly on Close.
+func TestBackgroundFlusher(t *testing.T) {
+	dir := t.TempDir()
+	cache := NewVerifyCache()
+	p, err := OpenProofDB(dir, cache, ProofDBConfig{FlushInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	learnOnce(t, warmOptions(cache))
+
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Flushes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background flusher never flushed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	db, err := proofdb.Open(dir, proofdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Snapshot().Len() == 0 {
+		t.Fatal("background flushes persisted nothing")
+	}
+}
+
+// TestBoundProofDBRegistry: one ProofDB per directory per process, shared
+// by every learner that names it.
+func TestBoundProofDBRegistry(t *testing.T) {
+	dir := t.TempDir()
+	p1 := boundProofDB(dir, NewVerifyCache())
+	p2 := boundProofDB(dir, NewVerifyCache())
+	if p1 == nil || p1 != p2 {
+		t.Fatalf("registry did not share: %p vs %p", p1, p2)
+	}
+	other := boundProofDB(t.TempDir(), NewVerifyCache())
+	if other == p1 {
+		t.Fatal("distinct directories share a ProofDB")
+	}
+	if err := CloseProofDBs(); err != nil {
+		t.Fatal(err)
+	}
+	p3 := boundProofDB(dir, NewVerifyCache())
+	if p3 == nil {
+		t.Fatal("reopen after CloseProofDBs failed")
+	}
+	if err := CloseProofDBs(); err != nil {
+		t.Fatal(err)
+	}
+}

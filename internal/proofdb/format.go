@@ -1,0 +1,136 @@
+// On-disk format of the persistent proof store.
+//
+// A store is a single file (proof.db) in the cache directory:
+//
+//	line 0:  "HHPDB v<version>"            — magic + format version
+//	line N:  "<crc32-hex8>\t<json-record>" — one record per line
+//
+// Each record line carries the IEEE CRC32 of its JSON payload in fixed
+// 8-hex-digit form. The hybrid shape is deliberate: the framing (newline
+// per record, checksum prefix) is binary-simple so partial writes and bit
+// flips are detected line-locally, while the payload is JSON so the store
+// is greppable, diffable, and forward-extensible (unknown record types are
+// skipped, not fatal).
+//
+// Loads are tolerant by construction: a record that is truncated, fails
+// its CRC, fails to parse, or is semantically invalid is skipped and
+// counted — never an error, never a panic. Only the header is strict: a
+// missing or mismatched "HHPDB v1" header rejects the whole file (the
+// format owner changed; replaying records under the wrong schema could be
+// unsound), which degrades to a cold start.
+package proofdb
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+)
+
+const (
+	magic = "HHPDB"
+	// Version is the on-disk format version. Bump it on any change to the
+	// record schema or its semantics; loaders reject mismatched versions
+	// wholesale (cold start) rather than guessing.
+	Version = 1
+)
+
+// header is the exact first line of a store file (without the newline).
+func header() string { return fmt.Sprintf("%s v%d", magic, Version) }
+
+// Record type tags.
+const (
+	recClause  = "clause"
+	recVerdict = "verdict"
+)
+
+// Lit is one literal of a stored clause, in canonical named form (the
+// portable representation of circuit.NamedLit).
+type Lit struct {
+	Name string `json:"n"`
+	Neg  bool   `json:"g,omitempty"`
+}
+
+// record is the wire form of one store line. Clause and verdict records
+// share the struct; omitempty keeps each line minimal (all omitted fields
+// decode to their zero value, which is exactly what was encoded).
+type record struct {
+	T   string `json:"t"`  // recClause | recVerdict
+	Key string `json:"k"`  // cache key: circuit fingerprint | EnvKey
+	At  int64  `json:"at"` // unix seconds of last use (staleness policy)
+
+	// Clause fields.
+	Lits []Lit `json:"l,omitempty"`
+
+	// Verdict fields. A/B are the two independent 64-bit hashes of the
+	// abduction-query identity; OK false means "no abduct exists".
+	A     uint64   `json:"a,omitempty"`
+	B     uint64   `json:"b,omitempty"`
+	OK    bool     `json:"ok,omitempty"`
+	Preds []string `json:"p,omitempty"`
+}
+
+// valid reports whether a decoded record is semantically well-formed.
+func (r *record) valid() bool {
+	if r.Key == "" {
+		return false
+	}
+	switch r.T {
+	case recClause:
+		if len(r.Lits) == 0 {
+			return false
+		}
+		for _, l := range r.Lits {
+			if l.Name == "" {
+				return false
+			}
+		}
+		return true
+	case recVerdict:
+		return true
+	default:
+		return false // unknown type: skip (forward compatibility)
+	}
+}
+
+// encodeLine renders one record as a checksummed store line (with trailing
+// newline).
+func encodeLine(r *record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = fmt.Appendf(line, "%08x\t", crc32.ChecksumIEEE(payload))
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// decodeLine parses one store line (without trailing newline). It returns
+// ok=false for any malformed line — bad framing, CRC mismatch, JSON error,
+// or semantic invalidity — without distinguishing the failure mode: the
+// caller treats every one as "skip this record".
+func decodeLine(line []byte) (record, bool) {
+	var r record
+	tab := bytes.IndexByte(line, '\t')
+	if tab != 8 {
+		return r, false
+	}
+	want, err := strconv.ParseUint(string(line[:tab]), 16, 32)
+	if err != nil {
+		return r, false
+	}
+	payload := line[tab+1:]
+	if crc32.ChecksumIEEE(payload) != uint32(want) {
+		return r, false
+	}
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return r, false
+	}
+	if !r.valid() {
+		return r, false
+	}
+	return r, true
+}

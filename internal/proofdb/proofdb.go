@@ -1,0 +1,543 @@
+// Package proofdb is the persistent proof store: a versioned on-disk cache
+// of the facts the verification engine has already proved — base-system
+// learnt clauses (in canonical named form) and whole abduction verdicts —
+// keyed by system identity (circuit fingerprint + environment key).
+//
+// H-Houdini's relative-induction checks are pure functions of the system
+// identity (§3.2 of the paper), which is what makes them memoizable at all;
+// this package extends the in-memory cross-run VerifyCache one level
+// further, across *process* invocations: a CLI run, an experiment sweep and
+// a CI job over the same design restore each other's warm starts instead of
+// re-deriving every clause cold.
+//
+// Durability contract:
+//   - writes are crash-safe: the whole store is rewritten to a temp file,
+//     fsynced, and atomically renamed over the old one (a crash leaves
+//     either the old store or the new one, never a torn file);
+//   - loads never fail on data corruption: torn/flipped/truncated records
+//     are skipped record-locally and counted, a mismatched format version
+//     rejects the file wholesale — both degrade to a cold start;
+//   - staleness is bounded two ways: records unused for longer than MaxAge
+//     are evicted, and the file is LRU-compacted to a byte budget on every
+//     flush (least-recently-used records are dropped first).
+//
+// The package is deliberately self-contained (no dependency on the solver
+// or learner packages) so the persistence layer can be reasoned about — and
+// fuzzed — in isolation.
+package proofdb
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Defaults for Options.
+const (
+	// FileName is the store file inside the cache directory.
+	FileName = "proof.db"
+	// DefaultDir is the conventional cache directory name tools use when
+	// persistence is requested without an explicit path. It is listed in
+	// the repository .gitignore.
+	DefaultDir = ".hhcache"
+	// DefaultMaxAge evicts records not used for two weeks: long enough to
+	// span CI cadences, short enough that abandoned designs age out.
+	DefaultMaxAge = 14 * 24 * time.Hour
+	// DefaultMaxBytes bounds the on-disk footprint of one store.
+	DefaultMaxBytes = 64 << 20
+)
+
+// Options tune a store.
+type Options struct {
+	// MaxAge is the staleness bound: records whose last use is older are
+	// evicted at load and flush time. 0 means DefaultMaxAge; negative
+	// disables age eviction.
+	MaxAge time.Duration
+	// MaxBytes is the on-disk byte budget enforced by LRU compaction at
+	// flush time. 0 means DefaultMaxBytes; negative disables the budget.
+	MaxBytes int64
+	// Now overrides the clock (tests). Nil means time.Now.
+	Now func() time.Time
+}
+
+func (o *Options) maxAge() time.Duration {
+	if o.MaxAge == 0 {
+		return DefaultMaxAge
+	}
+	return o.MaxAge
+}
+
+func (o *Options) maxBytes() int64 {
+	if o.MaxBytes == 0 {
+		return DefaultMaxBytes
+	}
+	return o.MaxBytes
+}
+
+func (o *Options) now() time.Time {
+	if o.Now != nil {
+		return o.Now()
+	}
+	return time.Now()
+}
+
+// Stats are cumulative store counters (snapshot under the DB lock).
+type Stats struct {
+	ClausesLoaded  int64 // clause records restored from disk at Open
+	VerdictsLoaded int64 // verdict records restored from disk at Open
+	CorruptSkipped int64 // records dropped for framing/CRC/JSON/validity
+	ExpiredSkipped int64 // records dropped at load for exceeding MaxAge
+	HeaderRejected bool  // whole file rejected: missing/mismatched version
+	Flushes        int64 // successful atomic rewrites
+	AgeEvicted     int64 // records evicted at flush for exceeding MaxAge
+	BudgetEvicted  int64 // records LRU-evicted at flush for the byte budget
+	BytesOnDisk    int64 // size of the store after the last flush (or load)
+}
+
+// Snapshot is the portable in-memory image of a store (also the exchange
+// type with the verification cache: the cache exports/imports Snapshots
+// without knowing anything about files).
+type Snapshot struct {
+	Keys []KeyRecord
+}
+
+// KeyRecord holds every persisted fact for one system identity.
+type KeyRecord struct {
+	Key      string
+	Clauses  []Clause
+	Verdicts []Verdict
+}
+
+// Clause is one base-system learnt clause over canonical variable names.
+type Clause struct {
+	Lits []Lit
+}
+
+// Verdict is one memoized abduction verdict. A/B are the two independent
+// 64-bit hashes identifying the query; OK false records "no abduct exists";
+// Preds are the abduct member predicate IDs when OK.
+type Verdict struct {
+	A, B  uint64
+	OK    bool
+	Preds []string
+}
+
+// Len returns the total number of records in the snapshot.
+func (s *Snapshot) Len() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, kr := range s.Keys {
+		n += len(kr.Clauses) + len(kr.Verdicts)
+	}
+	return n
+}
+
+// DB is an open store: an in-memory model of the on-disk records plus the
+// machinery to merge, evict and atomically persist them. All methods are
+// safe for concurrent use.
+type DB struct {
+	mu    sync.Mutex
+	path  string // the store file (dir/FileName)
+	opts  Options
+	keys  map[string]*keyState
+	stats Stats
+}
+
+type keyState struct {
+	clauses  map[string]*clauseRec // canonical clause fingerprint → record
+	verdicts map[verdictID]*verdictRec
+}
+
+type verdictID struct{ a, b uint64 }
+
+type clauseRec struct {
+	lits []Lit
+	at   int64 // unix seconds of last use
+}
+
+type verdictRec struct {
+	ok    bool
+	preds []string
+	at    int64
+}
+
+// Open opens (creating if needed) the store in dir and loads its current
+// contents. Data-level corruption is never an error: torn or bit-flipped
+// records are skipped, a version-mismatched file is rejected wholesale, and
+// both are reported through Stats — the returned DB simply starts colder.
+// Errors are reserved for environmental failures (unreadable directory).
+func Open(dir string, opts Options) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	db := &DB{
+		path: filepath.Join(dir, FileName),
+		opts: opts,
+		keys: make(map[string]*keyState),
+	}
+	if err := db.load(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Path returns the store file path.
+func (db *DB) Path() string { return db.path }
+
+// Stats returns a point-in-time snapshot of the store counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.stats
+}
+
+// Len returns the number of (clause, verdict) records in the model.
+func (db *DB) Len() (clauses, verdicts int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, ks := range db.keys {
+		clauses += len(ks.clauses)
+		verdicts += len(ks.verdicts)
+	}
+	return
+}
+
+// load reads the store file into the model. Only I/O errors propagate.
+func (db *DB) load() error {
+	f, err := os.Open(db.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if fi, err := f.Stat(); err == nil {
+		db.stats.BytesOnDisk = fi.Size()
+	}
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	if !sc.Scan() || sc.Text() != header() {
+		// Missing, truncated-to-nothing, or version-mismatched header:
+		// reject the whole file. It will be rewritten at the next flush.
+		db.stats.HeaderRejected = true
+		return nil
+	}
+
+	cutoff := int64(0)
+	if age := db.opts.maxAge(); age > 0 {
+		cutoff = db.opts.now().Add(-age).Unix()
+	}
+	for sc.Scan() {
+		r, ok := decodeLine(sc.Bytes())
+		if !ok {
+			db.stats.CorruptSkipped++
+			continue
+		}
+		if cutoff > 0 && r.At < cutoff {
+			db.stats.ExpiredSkipped++
+			continue
+		}
+		ks := db.keyLocked(r.Key)
+		switch r.T {
+		case recClause:
+			fp := clauseFingerprint(r.Lits)
+			if prev, dup := ks.clauses[fp]; !dup || r.At > prev.at {
+				ks.clauses[fp] = &clauseRec{lits: r.Lits, at: r.At}
+			}
+			db.stats.ClausesLoaded++
+		case recVerdict:
+			id := verdictID{r.A, r.B}
+			if prev, dup := ks.verdicts[id]; !dup || r.At > prev.at {
+				ks.verdicts[id] = &verdictRec{ok: r.OK, preds: r.Preds, at: r.At}
+			}
+			db.stats.VerdictsLoaded++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// A scanner error (e.g. an over-long torn line) loses the tail of
+		// the file, not the records already decoded. Treat it as corruption.
+		db.stats.CorruptSkipped++
+	}
+	return nil
+}
+
+func (db *DB) keyLocked(key string) *keyState {
+	ks, ok := db.keys[key]
+	if !ok {
+		ks = &keyState{
+			clauses:  make(map[string]*clauseRec),
+			verdicts: make(map[verdictID]*verdictRec),
+		}
+		db.keys[key] = ks
+	}
+	return ks
+}
+
+// clauseFingerprint canonicalizes a clause (sorted by name, then sign) so
+// permutations dedup — the same canonical form the verification cache uses.
+func clauseFingerprint(lits []Lit) string {
+	sorted := append([]Lit(nil), lits...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Name != sorted[j].Name {
+			return sorted[i].Name < sorted[j].Name
+		}
+		return !sorted[i].Neg && sorted[j].Neg
+	})
+	var b []byte
+	for _, l := range sorted {
+		if l.Neg {
+			b = append(b, '-')
+		}
+		b = append(b, l.Name...)
+		b = append(b, 0)
+	}
+	return string(b)
+}
+
+// Merge folds a snapshot into the model, refreshing the last-use time of
+// every record it carries: a record present in a live cache snapshot was
+// (re)derived or retained this run, which is exactly the LRU signal.
+func (db *DB) Merge(s *Snapshot) {
+	if s == nil {
+		return
+	}
+	now := db.opts.now().Unix()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, kr := range s.Keys {
+		ks := db.keyLocked(kr.Key)
+		for _, cl := range kr.Clauses {
+			if len(cl.Lits) == 0 {
+				continue
+			}
+			fp := clauseFingerprint(cl.Lits)
+			if rec, ok := ks.clauses[fp]; ok {
+				rec.at = now
+			} else {
+				ks.clauses[fp] = &clauseRec{lits: cl.Lits, at: now}
+			}
+		}
+		for _, v := range kr.Verdicts {
+			id := verdictID{v.A, v.B}
+			if rec, ok := ks.verdicts[id]; ok {
+				rec.at = now
+			} else {
+				ks.verdicts[id] = &verdictRec{ok: v.OK, preds: v.Preds, at: now}
+			}
+		}
+	}
+}
+
+// Snapshot exports the current model in deterministic (key-sorted) order.
+func (db *DB) Snapshot() *Snapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	keys := make([]string, 0, len(db.keys))
+	for k := range db.keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := &Snapshot{}
+	for _, k := range keys {
+		ks := db.keys[k]
+		kr := KeyRecord{Key: k}
+		fps := make([]string, 0, len(ks.clauses))
+		for fp := range ks.clauses {
+			fps = append(fps, fp)
+		}
+		sort.Strings(fps)
+		for _, fp := range fps {
+			kr.Clauses = append(kr.Clauses, Clause{Lits: ks.clauses[fp].lits})
+		}
+		ids := make([]verdictID, 0, len(ks.verdicts))
+		for id := range ks.verdicts {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			if ids[i].a != ids[j].a {
+				return ids[i].a < ids[j].a
+			}
+			return ids[i].b < ids[j].b
+		})
+		for _, id := range ids {
+			rec := ks.verdicts[id]
+			kr.Verdicts = append(kr.Verdicts, Verdict{A: id.a, B: id.b, OK: rec.ok, Preds: rec.preds})
+		}
+		if len(kr.Clauses)+len(kr.Verdicts) > 0 {
+			out.Keys = append(out.Keys, kr)
+		}
+	}
+	return out
+}
+
+// flushLine pairs an encoded store line with its LRU key for compaction.
+type flushLine struct {
+	at   int64
+	data []byte
+	drop func() // removes the record from the model (budget eviction)
+}
+
+// Flush atomically rewrites the store file from the model, applying the
+// staleness policy: age-expired records are evicted first, then the
+// least-recently-used records beyond the byte budget. The write is
+// crash-safe — temp file, fsync, rename, directory fsync.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.evictExpiredLocked()
+	lines, err := db.encodeLocked()
+	if err != nil {
+		return err
+	}
+	// LRU compaction: newest-used first; everything past the byte budget
+	// is dropped from both the file and the model.
+	sort.SliceStable(lines, func(i, j int) bool { return lines[i].at > lines[j].at })
+	hdr := header() + "\n"
+	total := int64(len(hdr))
+	budget := db.opts.maxBytes()
+	kept := lines[:0]
+	for _, ln := range lines {
+		if budget > 0 && total+int64(len(ln.data)) > budget {
+			ln.drop()
+			db.stats.BudgetEvicted++
+			continue
+		}
+		total += int64(len(ln.data))
+		kept = append(kept, ln)
+	}
+
+	buf := make([]byte, 0, total)
+	buf = append(buf, hdr...)
+	for _, ln := range kept {
+		buf = append(buf, ln.data...)
+	}
+	if err := atomicWrite(db.path, buf); err != nil {
+		return err
+	}
+	db.stats.Flushes++
+	db.stats.BytesOnDisk = int64(len(buf))
+	return nil
+}
+
+// Close flushes the store. The DB holds no OS resources between calls, so
+// Close is just the final durability point.
+func (db *DB) Close() error { return db.Flush() }
+
+// evictExpiredLocked drops records older than MaxAge from the model.
+func (db *DB) evictExpiredLocked() {
+	age := db.opts.maxAge()
+	if age <= 0 {
+		return
+	}
+	cutoff := db.opts.now().Add(-age).Unix()
+	for key, ks := range db.keys {
+		for fp, rec := range ks.clauses {
+			if rec.at < cutoff {
+				delete(ks.clauses, fp)
+				db.stats.AgeEvicted++
+			}
+		}
+		for id, rec := range ks.verdicts {
+			if rec.at < cutoff {
+				delete(ks.verdicts, id)
+				db.stats.AgeEvicted++
+			}
+		}
+		if len(ks.clauses)+len(ks.verdicts) == 0 {
+			delete(db.keys, key)
+		}
+	}
+}
+
+// encodeLocked renders every model record as a store line (deterministic
+// order before the LRU sort: sorted keys, then clause/verdict identity).
+func (db *DB) encodeLocked() ([]flushLine, error) {
+	keys := make([]string, 0, len(db.keys))
+	for k := range db.keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var lines []flushLine
+	for _, key := range keys {
+		key := key
+		ks := db.keys[key]
+		fps := make([]string, 0, len(ks.clauses))
+		for fp := range ks.clauses {
+			fps = append(fps, fp)
+		}
+		sort.Strings(fps)
+		for _, fp := range fps {
+			fp, rec := fp, ks.clauses[fp]
+			data, err := encodeLine(&record{T: recClause, Key: key, At: rec.at, Lits: rec.lits})
+			if err != nil {
+				return nil, err
+			}
+			lines = append(lines, flushLine{at: rec.at, data: data,
+				drop: func() { delete(ks.clauses, fp) }})
+		}
+		ids := make([]verdictID, 0, len(ks.verdicts))
+		for id := range ks.verdicts {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			if ids[i].a != ids[j].a {
+				return ids[i].a < ids[j].a
+			}
+			return ids[i].b < ids[j].b
+		})
+		for _, id := range ids {
+			id, rec := id, ks.verdicts[id]
+			data, err := encodeLine(&record{
+				T: recVerdict, Key: key, At: rec.at,
+				A: id.a, B: id.b, OK: rec.ok, Preds: rec.preds,
+			})
+			if err != nil {
+				return nil, err
+			}
+			lines = append(lines, flushLine{at: rec.at, data: data,
+				drop: func() { delete(ks.verdicts, id) }})
+		}
+	}
+	return lines, nil
+}
+
+// atomicWrite performs the crash-safe rewrite: write to <path>.tmp, fsync,
+// rename over path, fsync the directory (best-effort — some filesystems
+// reject directory fsync; the rename itself is still atomic).
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync() // best-effort durability of the rename itself
+		dir.Close()
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package hhoudini_test
+
+// End-to-end tests of the persistent proof store through the public facade:
+// the >=90% warm-process acceptance bound from the issue, cold-start
+// degradation on a corrupted store, and the explicit OpenProofDB surface.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	hh "hhoudini"
+)
+
+// verifyInDir runs one "process": a fresh private VerifyCache bound to the
+// proof store in dir, one Verify of the exec-stage safe set, and returns the
+// result. CloseProofDBs (the caller's job) stands in for process exit.
+func verifyInDir(t *testing.T, tgt *hh.Target, dir string, safe []string) *hh.Result {
+	t.Helper()
+	opts := hh.DefaultAnalysisOptions()
+	opts.Learner.Cache = hh.NewVerifyCache() // no in-memory state carries over
+	opts.Learner.CacheDir = dir
+	a, err := hh.NewAnalysis(tgt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Verify(safe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Invariant == nil {
+		t.Fatalf("verification failed: %s", res.Reason)
+	}
+	return res
+}
+
+// TestProofDBWarmProcessAnswersFromDisk is the acceptance bound from the
+// issue: a second process run pointed at the same -cache-dir must answer at
+// least 90% of its abduction queries from restored memos. Both "processes"
+// use a brand-new VerifyCache, so every warm answer can only come from disk.
+func TestProofDBWarmProcessAnswersFromDisk(t *testing.T) {
+	tgt := execStageTarget(t)
+	dir := t.TempDir()
+	safe := []string{"add"}
+
+	cold := verifyInDir(t, tgt, dir, safe)
+	if cold.Stats.CacheDiskFlushes == 0 {
+		t.Fatal("cold process never flushed the proof store")
+	}
+	if err := hh.CloseProofDBs(); err != nil { // simulated process exit
+		t.Fatal(err)
+	}
+
+	warm := verifyInDir(t, tgt, dir, safe)
+	defer hh.CloseProofDBs()
+	s := warm.Stats
+	if s.Queries == 0 {
+		t.Fatal("warm process made no queries; test is vacuous")
+	}
+	if s.CacheDiskLoads == 0 {
+		t.Fatal("warm process restored nothing from disk")
+	}
+	if s.CacheDiskHits < (s.Queries*9+9)/10 {
+		t.Fatalf("disk hits %d of %d queries (%.1f%%): below the 90%% acceptance bound",
+			s.CacheDiskHits, s.Queries, 100*float64(s.CacheDiskHits)/float64(s.Queries))
+	}
+	if cold.Invariant.Size() != warm.Invariant.Size() {
+		t.Fatalf("warm invariant size %d differs from cold %d",
+			warm.Invariant.Size(), cold.Invariant.Size())
+	}
+	t.Logf("warm process: %d/%d queries answered from disk (%.1f%%), %d records restored",
+		s.CacheDiskHits, s.Queries,
+		100*float64(s.CacheDiskHits)/float64(s.Queries), s.CacheDiskLoads)
+}
+
+// TestProofDBCorruptedStoreColdStarts: pointing -cache-dir at a mangled
+// store must not error — the run degrades to a cold start and rewrites a
+// valid store at shutdown.
+func TestProofDBCorruptedStoreColdStarts(t *testing.T) {
+	tgt := execStageTarget(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "proof.db")
+	if err := os.WriteFile(path, []byte("\xde\xad\xbe\xefthis is not a proof store\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res := verifyInDir(t, tgt, dir, []string{"add"})
+	if res.Stats.CacheDiskHits != 0 {
+		t.Fatal("corrupted store produced disk hits")
+	}
+	if err := hh.CloseProofDBs(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rewritten store must now warm-start a fresh process.
+	warm := verifyInDir(t, tgt, dir, []string{"add"})
+	defer hh.CloseProofDBs()
+	if warm.Stats.CacheDiskHits == 0 {
+		t.Fatal("store was not repopulated after the corrupt cold start")
+	}
+}
+
+// TestProofDBExplicitOpenSurface exercises the exported OpenProofDB path:
+// restore into a caller-owned cache, flush explicitly, reopen.
+func TestProofDBExplicitOpenSurface(t *testing.T) {
+	tgt := execStageTarget(t)
+	dir := t.TempDir()
+
+	cache := hh.NewVerifyCache()
+	p, err := hh.OpenProofDB(dir, cache, hh.ProofDBConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := hh.DefaultAnalysisOptions()
+	opts.Learner.Cache = cache
+	a, err := hh.NewAnalysis(tgt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := a.Verify([]string{"add"}); err != nil || res.Invariant == nil {
+		t.Fatalf("verify: res=%v err=%v", res, err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "proof.db")); err != nil {
+		t.Fatalf("store file missing: %v", err)
+	}
+
+	cache2 := hh.NewVerifyCache()
+	p2, err := hh.OpenProofDB(dir, cache2, hh.ProofDBConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	st := p2.Stats()
+	if st.ClausesLoaded+st.VerdictsLoaded == 0 {
+		t.Fatal("reopen restored no records")
+	}
+	if cache2.Len() == 0 {
+		t.Fatal("restored cache is empty")
+	}
+}
