@@ -1,14 +1,21 @@
-# Development targets. `make ci` is the gate: vet + build + race tests +
-# a 1-iteration smoke run of every benchmark + the bench-json smoke.
+# Development targets. `make ci` is the gate: vet + build + hhlint + race
+# tests + a 1-iteration smoke run of every benchmark + the bench-json smoke.
 
 GO ?= go
 
-.PHONY: all vet build test race race-proofdb bench-smoke bench bench-json bench-persist ci
+.PHONY: all vet build lint test race race-proofdb bench-smoke bench bench-json bench-persist ci
 
 all: build
 
 vet:
 	$(GO) vet ./...
+
+# hhlint: the repo's own static-analysis suite (internal/analysis). Exit 0
+# on a clean tree, 1 on findings, so CI fails fast; `-json` emits the same
+# findings machine-readably. See DESIGN.md "Static analysis" for the pass
+# inventory and the suppression policy.
+lint:
+	$(GO) run ./cmd/hhlint ./...
 
 build:
 	$(GO) build ./...
@@ -20,10 +27,14 @@ race:
 	$(GO) test -race ./...
 
 # Focused race tier for the persistence layer: the proofdb package plus the
-# concurrent snapshot/flush paths in the core engine.
+# concurrent snapshot/flush paths in the core engine. The regex matches by
+# prefix so every TestConcurrent* under internal/... joins this tier
+# automatically (currently: TestConcurrentSnapshotWhileLearn and
+# TestConcurrentAttachFlushLastErr in internal/hhoudini/persist_test.go,
+# TestConcurrentMergeFlushSnapshot in internal/proofdb).
 race-proofdb:
 	$(GO) test -race ./internal/proofdb/
-	$(GO) test -race -run 'TestConcurrentSnapshotWhileLearn|TestBackgroundFlusher|TestConcurrentMergeFlushSnapshot' ./internal/...
+	$(GO) test -race -run 'TestConcurrent|TestBackgroundFlusher' ./internal/...
 
 # One iteration of every benchmark: catches bit-rot in the harness without
 # paying for stable timings.
@@ -45,4 +56,4 @@ bench-persist:
 	$(GO) run ./cmd/benchjson -persist -design execstage -runs 3 -out BENCH_proofdb.json
 	$(GO) run ./cmd/benchjson -check BENCH_proofdb.json
 
-ci: vet build race race-proofdb bench-smoke bench-json bench-persist
+ci: vet build lint race race-proofdb bench-smoke bench-json bench-persist

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The atomicstats pass enforces the Stats counter discipline: a struct
+// whose doc comment carries the `hhlint:atomic-counters` annotation
+// declares that every plain-int64 field is a counter updated concurrently
+// on the hot path. Mixing atomic and plain access to such a field is a real
+// data race (the Go memory model gives a plain read racing an atomic.Add
+// undefined meaning), so:
+//
+//   - every read and write must go through sync/atomic with &x.Field as the
+//     address argument;
+//   - plain reads are additionally allowed in package main — the
+//     post-Learn accessor set: CLI drivers and experiment harnesses read
+//     counters after Learn has returned and its workers have joined;
+//   - plain writes are flagged everywhere, package main included;
+//   - taking a counter's address outside a sync/atomic call is flagged
+//     (the address could be used for plain access elsewhere).
+//
+// Fields whose type is a *named* int64 (e.g. time.Duration) are not
+// counters; neither are fields of other widths. Composite literals do not
+// count as access: construction happens before the value is published.
+const atomicMarker = "hhlint:atomic-counters"
+
+// AtomicStatsPass returns the atomicstats pass.
+func AtomicStatsPass() *Pass {
+	return &Pass{
+		Name: "atomicstats",
+		Doc:  "counter fields of hhlint:atomic-counters structs must use sync/atomic",
+		Run:  runAtomicStats,
+	}
+}
+
+// counterFacts maps the field object of every annotated counter to its
+// "Struct.Field" display name.
+type counterFacts map[*types.Var]string
+
+func atomicCounters(c *Context) counterFacts {
+	const key = "atomicstats.counters"
+	if f, ok := c.Facts[key]; ok {
+		return f.(counterFacts)
+	}
+	facts := make(counterFacts)
+	for _, pkg := range c.All {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if !docContains(atomicMarker, gd.Doc, ts.Doc, ts.Comment) {
+						continue
+					}
+					obj, ok := pkg.Info.Defs[ts.Name]
+					if !ok {
+						continue
+					}
+					st, ok := obj.Type().Underlying().(*types.Struct)
+					if !ok {
+						continue
+					}
+					for i := 0; i < st.NumFields(); i++ {
+						fld := st.Field(i)
+						if b, ok := fld.Type().(*types.Basic); ok && (b.Kind() == types.Int64 || b.Kind() == types.Uint64 || b.Kind() == types.Int32 || b.Kind() == types.Uint32) {
+							facts[fld] = ts.Name.Name + "." + fld.Name()
+						}
+					}
+				}
+			}
+		}
+	}
+	c.Facts[key] = facts
+	return facts
+}
+
+func runAtomicStats(c *Context) {
+	counters := atomicCounters(c)
+	if len(counters) == 0 {
+		return
+	}
+	isMain := c.Pkg.Types != nil && c.Pkg.Types.Name() == "main"
+
+	for _, file := range c.Pkg.Files {
+		// First: collect the selector expressions sanctioned by appearing
+		// as &x.F inside a sync/atomic call.
+		sanctioned := make(map[*ast.SelectorExpr]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgFuncCall(c, call, "sync/atomic") {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+
+		// Second: classify every counter-field selector by its parent.
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if s, ok := c.Pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+					if name, isCounter := counters[fieldVarOf(s)]; isCounter && !sanctioned[sel] {
+						reportCounterAccess(c, sel, name, stack, isMain)
+					}
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// fieldVarOf returns the field object a FieldVal selection resolves to.
+func fieldVarOf(s *types.Selection) *types.Var {
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// reportCounterAccess classifies an unsanctioned counter access from its
+// parent chain and reports accordingly.
+func reportCounterAccess(c *Context, sel *ast.SelectorExpr, name string, stack []ast.Node, isMain bool) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.UnaryExpr:
+			if p.Op == token.AND && ast.Unparen(p.X) == sel {
+				c.Reportf(sel.Pos(), "address of atomic counter %s escapes outside a sync/atomic call", name)
+				return
+			}
+		case *ast.IncDecStmt:
+			if ast.Unparen(p.X) == sel {
+				c.Reportf(sel.Pos(), "plain write to atomic counter %s (use sync/atomic)", name)
+				return
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if ast.Unparen(lhs) == sel {
+					c.Reportf(sel.Pos(), "plain write to atomic counter %s (use sync/atomic)", name)
+					return
+				}
+			}
+		case *ast.SelectorExpr:
+			// sel is the X of a deeper selector (x.Stats.Field has the
+			// counter as the outer selector, so this arm is for chains
+			// where the counter itself is further selected — impossible
+			// for basic fields, but stay conservative).
+			continue
+		}
+		break
+	}
+	if isMain {
+		return // post-Learn accessor set: reads from package main are fine
+	}
+	c.Reportf(sel.Pos(), "plain read of atomic counter %s (use atomic.Load*, or read from package main after Learn)", name)
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// harness.go is the golden-file expectation harness: testdata packages
+// annotate the lines where a pass must report with
+//
+//	// want "regexp"
+//	// want "first" "second"        (two diagnostics expected on the line)
+//
+// and CheckPackage asserts the diagnostic set matches the expectation set
+// exactly — every diagnostic must match a `want` on its line, every `want`
+// must be consumed by exactly one diagnostic, no more, no less. The same
+// mechanism golang.org/x/tools/go/analysis/analysistest uses, rebuilt here
+// stdlib-only.
+
+// wantRe matches one quoted expectation; several may follow one `// want`.
+var wantRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one `want` entry: a line and a regexp the diagnostic
+// message (including its [pass] tag) must match.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	used bool
+}
+
+// collectWants parses every `// want ...` comment of a loaded package.
+func collectWants(pkg *Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				matches := wantRe.FindAllString(rest, -1)
+				if len(matches) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment (no quoted regexp)", pos.Filename, pos.Line)
+				}
+				for _, m := range matches {
+					unq, err := strconv.Unquote(m)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, m, err)
+					}
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, unq, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: unq,
+					})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// TB is the subset of *testing.T the harness needs (kept as an interface so
+// the harness itself is testable).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// CheckPackage loads the testdata package in dir, runs the given passes
+// over it, and asserts the diagnostics equal the package's `// want`
+// expectations exactly. It returns the surviving diagnostics for further
+// assertions.
+func CheckPackage(t TB, dir string, passes ...*Pass) []Diagnostic {
+	t.Helper()
+	pkg, err := LoadPackage(dir)
+	if err != nil {
+		t.Errorf("load %s: %v", dir, err)
+		return nil
+	}
+	diags := Run([]*Package{pkg}, passes)
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Errorf("%v", err)
+		return diags
+	}
+	MatchExpectations(t, diags, wants)
+	return diags
+}
+
+// MatchExpectations performs the exact-set comparison: every diagnostic
+// consumes one matching expectation on its line; leftovers on either side
+// are test failures.
+func MatchExpectations(t TB, diags []Diagnostic, wants []*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		msg := "[" + d.Pass + "] " + d.Msg
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != d.File || w.line != d.Line {
+				continue
+			}
+			if w.re.MatchString(msg) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n\t%s", d.String())
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("expected diagnostic not reported:\n\t%s:%d: want %q", w.file, w.line, w.raw)
+		}
+	}
+}

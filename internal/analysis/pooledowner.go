@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The pooledowner pass enforces the single-owner lifecycle of pooled
+// solver/encoder values. The engine's pooling protocol (pool.go, cache.go)
+// is:
+//
+//   - `checkout` hands a cached value to exactly one owner, removing it
+//     from the cache — the returned value must be stored (into a pool map
+//     or field), returned to a caller, or checked back in; a checkout
+//     whose result is dropped or merely inspected leaks the value out of
+//     circulation and breaks the budget accounting;
+//   - `checkin` / `retire` transfer ownership away — using the value (or
+//     the pool) after it flowed into a check-in is a use-after-retire: the
+//     solver may now be owned by a concurrent Learner, and sat.Solver is
+//     not safe for concurrent use.
+//
+// The pass self-configures from the code: the pointer result types of any
+// method named `checkout` are the "owned" types. Kills are textual
+// (statement order within one function body); a kill inside a `defer` runs
+// at function end and therefore never precedes a use. This is an
+// intra-procedural approximation — values smuggled through fields or
+// goroutines need the race detector — but it mechanically pins the
+// convention the pooling code is written against.
+
+// PooledOwnerPass returns the pooledowner pass.
+func PooledOwnerPass() *Pass {
+	return &Pass{
+		Name: "pooledowner",
+		Doc:  "pooled solver/encoder values are single-owner after retire()/checkin, and checkouts must not leak",
+		Run:  runPooledOwner,
+	}
+}
+
+// ownedTypes collects the pointer result types of every function or method
+// named "checkout" across the load.
+func ownedTypes(c *Context) []types.Type {
+	const key = "pooledowner.owned"
+	if f, ok := c.Facts[key]; ok {
+		return f.([]types.Type)
+	}
+	var owned []types.Type
+	for _, pkg := range c.All {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Name.Name != "checkout" || fd.Type.Results == nil {
+					continue
+				}
+				for _, res := range fd.Type.Results.List {
+					t := pkg.Info.TypeOf(res.Type)
+					if t == nil {
+						continue
+					}
+					if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+						owned = append(owned, t)
+					}
+				}
+			}
+		}
+	}
+	c.Facts[key] = owned
+	return owned
+}
+
+func isOwnedType(owned []types.Type, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	for _, o := range owned {
+		if types.Identical(o, t) {
+			return true
+		}
+	}
+	return false
+}
+
+func runPooledOwner(c *Context) {
+	owned := ownedTypes(c)
+	for _, file := range c.Pkg.Files {
+		for _, unit := range funcUnits(file) {
+			checkUseAfterRetire(c, unit, owned)
+			checkCheckoutLeak(c, unit)
+		}
+	}
+}
+
+// checkUseAfterRetire flags textual uses of an object after it flowed into
+// retire()/checkin within the same function body.
+func checkUseAfterRetire(c *Context, unit funcUnit, owned []types.Type) {
+	// killed: object → end position of the (earliest) killing statement.
+	killed := make(map[types.Object]token.Pos)
+	killedBy := make(map[types.Object]string)
+
+	kill := func(obj types.Object, at token.Pos, how string) {
+		if obj == nil {
+			return
+		}
+		if prev, ok := killed[obj]; !ok || at < prev {
+			killed[obj] = at
+			killedBy[obj] = how
+		}
+	}
+
+	walkUnit(unit.body, func(n ast.Node, parents []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if inDefer(parents) {
+			return true // runs at function end: cannot precede a use
+		}
+		switch calleeName(call) {
+		case "retire":
+			// x.retire(): the receiver itself is dead afterwards.
+			if recv := calleeRecv(call); recv != nil {
+				kill(identObj(c, recv), call.End(), "retire()")
+			}
+		case "checkin":
+			// checkin(..., pe, ...): every owned-typed ident argument
+			// transfers ownership into the cache.
+			for _, arg := range call.Args {
+				obj := identObj(c, arg)
+				if obj != nil && isOwnedType(owned, obj.Type()) {
+					kill(obj, call.End(), "checkin")
+				}
+			}
+		}
+		return true
+	})
+	if len(killed) == 0 {
+		return
+	}
+
+	walkUnit(unit.body, func(n ast.Node, parents []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := c.Pkg.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		at, wasKilled := killed[obj]
+		if wasKilled && id.Pos() > at {
+			c.Reportf(id.Pos(), "use of %s after it was handed to %s (single-owner value; it may now belong to another worker)",
+				id.Name, killedBy[obj])
+		}
+		return true
+	})
+}
+
+// checkCheckoutLeak flags checkout results that escape no ownership path:
+// dropped outright, or bound to a variable that is never stored, returned,
+// or checked back in.
+func checkCheckoutLeak(c *Context, unit funcUnit) {
+	walkUnit(unit.body, func(n ast.Node, parents []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || calleeName(call) != "checkout" {
+			return true
+		}
+		// Direct statement: result dropped on the floor.
+		if len(parents) > 0 {
+			if _, isStmt := parents[len(parents)-1].(*ast.ExprStmt); isStmt {
+				c.Reportf(call.Pos(), "checkout result discarded: the checked-out value leaves the cache and leaks")
+				return true
+			}
+		}
+		obj := checkoutBinding(c, call, parents)
+		if obj == nil {
+			return true // flows into a larger expression; give it the benefit of the doubt
+		}
+		if obj.Name() == "_" {
+			c.Reportf(call.Pos(), "checkout result assigned to blank identifier: the checked-out value leaks")
+			return true
+		}
+		if !ownershipEscapes(c, unit, obj) {
+			c.Reportf(call.Pos(), "checked-out value %s is neither stored, returned, nor checked back in on any path (leaks from the pool)", obj.Name())
+		}
+		return true
+	})
+}
+
+// checkoutBinding returns the variable object a `x := recv.checkout(...)`
+// result is bound to (single-assignment forms only).
+func checkoutBinding(c *Context, call *ast.CallExpr, parents []ast.Node) types.Object {
+	if len(parents) == 0 {
+		return nil
+	}
+	as, ok := parents[len(parents)-1].(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 || ast.Unparen(as.Rhs[0]) != call || len(as.Lhs) != 1 {
+		return nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if id.Name == "_" {
+		return types.NewVar(id.Pos(), nil, "_", nil)
+	}
+	return c.ObjectOf(id)
+}
+
+// ownershipEscapes reports whether obj is stored into a field/map/slice,
+// returned, or passed back into checkin/retire somewhere in the unit.
+func ownershipEscapes(c *Context, unit funcUnit, obj types.Object) bool {
+	escapes := false
+	walkUnit(unit.body, func(n ast.Node, parents []ast.Node) bool {
+		if escapes {
+			return false
+		}
+		switch t := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range t.Rhs {
+				if identObj(c, rhs) != obj {
+					continue
+				}
+				// Stored into an index or selector target (pool map, field).
+				li := i
+				if len(t.Lhs) != len(t.Rhs) {
+					li = 0
+				}
+				switch ast.Unparen(t.Lhs[li]).(type) {
+				case *ast.IndexExpr, *ast.SelectorExpr:
+					escapes = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range t.Results {
+				if identObj(c, r) == obj {
+					escapes = true
+				}
+			}
+		case *ast.CallExpr:
+			if name := calleeName(t); name == "checkin" || name == "append" {
+				for _, a := range t.Args {
+					if identObj(c, a) == obj {
+						escapes = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return escapes
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Suppression comments let a human assert that an invariant holds for
+// reasons the heuristic passes cannot see. The syntax is
+//
+//	//hhlint:ignore <pass>[,<pass>...] <reason>
+//
+// and the scope is line-local: a trailing comment suppresses findings on
+// its own line, a standalone comment suppresses findings on the next
+// non-comment line. The reason is mandatory — a suppression without one is
+// itself reported (pass name "hhlint"), so every silenced finding carries
+// its justification in the source.
+//
+// `//hhlint:ignore all <reason>` silences every pass on the target line.
+
+const (
+	ignorePrefix = "hhlint:ignore"
+	// SuppressionPass is the pseudo-pass name used for malformed
+	// suppression diagnostics.
+	SuppressionPass = "hhlint"
+)
+
+// suppressionIndex maps (file, line) to the set of suppressed pass names.
+type suppressionIndex struct {
+	// byLine: file → line → pass set ("all" suppresses everything).
+	byLine    map[string]map[int]map[string]bool
+	malformed []Diagnostic
+}
+
+func (s *suppressionIndex) matches(d Diagnostic) bool {
+	lines := s.byLine[d.File]
+	if lines == nil {
+		return false
+	}
+	set := lines[d.Line]
+	if set == nil {
+		return false
+	}
+	return set["all"] || set[d.Pass]
+}
+
+// collectSuppressions scans every comment of every package once. known is
+// the set of valid pass names: an ignore naming an unknown pass is
+// malformed (typos must not silently disable enforcement).
+func collectSuppressions(pkgs []*Package, known map[string]bool) *suppressionIndex {
+	idx := &suppressionIndex{byLine: make(map[string]map[int]map[string]bool)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := ignoreText(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Slash)
+					passes, reason := splitIgnore(text)
+					if len(passes) == 0 || reason == "" {
+						idx.malformed = append(idx.malformed, Diagnostic{
+							Pass: SuppressionPass,
+							File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Msg: "malformed suppression: want //hhlint:ignore <pass>[,<pass>...] <reason>",
+						})
+						continue
+					}
+					bad := false
+					for _, p := range passes {
+						if p != "all" && !known[p] {
+							idx.malformed = append(idx.malformed, Diagnostic{
+								Pass: SuppressionPass,
+								File: pos.Filename, Line: pos.Line, Col: pos.Column,
+								Msg: "suppression names unknown pass " + quote(p),
+							})
+							bad = true
+						}
+					}
+					if bad {
+						continue
+					}
+					// Trailing comments suppress their own line; standalone
+					// comments suppress the next line. Distinguishing the
+					// two from the AST alone is fiddly, so both lines are
+					// suppressed — the scope stays line-local either way.
+					addLine(idx, pos.Filename, pos.Line, passes)
+					addLine(idx, pos.Filename, pos.Line+1, passes)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func addLine(idx *suppressionIndex, file string, line int, passes []string) {
+	lines := idx.byLine[file]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		idx.byLine[file] = lines
+	}
+	set := lines[line]
+	if set == nil {
+		set = make(map[string]bool)
+		lines[line] = set
+	}
+	for _, p := range passes {
+		set[p] = true
+	}
+}
+
+// ignoreText extracts the payload after "hhlint:ignore" from a comment, or
+// reports false if the comment is not a suppression.
+func ignoreText(comment string) (string, bool) {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSuffix(text, "*/")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, ignorePrefix)
+	if !ok {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// splitIgnore splits "pass1,pass2 reason words" into pass names and reason.
+func splitIgnore(text string) (passes []string, reason string) {
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return nil, ""
+	}
+	for _, p := range strings.Split(fields[0], ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			passes = append(passes, p)
+		}
+	}
+	reason = strings.TrimSpace(strings.TrimPrefix(text, fields[0]))
+	return passes, reason
+}
+
+func quote(s string) string { return "\"" + s + "\"" }

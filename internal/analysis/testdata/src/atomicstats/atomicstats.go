@@ -1,0 +1,45 @@
+// Package atomicstats is the golden-file fixture for hhlint's atomicstats
+// pass: the annotated Stats struct below mirrors hhoudini.Stats, and each
+// flagged line carries a `// want` expectation.
+package atomicstats
+
+import "sync/atomic"
+
+// Stats mirrors the engine's hot-path counter block.
+//
+// hhlint:atomic-counters
+type Stats struct {
+	Tasks   int64
+	Queries int64
+
+	Label string // not a counter: wrong type
+	Small int    // not a counter: not a fixed-width atomic type
+}
+
+// good uses the sanctioned sync/atomic forms.
+func good(s *Stats) int64 {
+	atomic.AddInt64(&s.Tasks, 1)
+	atomic.StoreInt64(&s.Queries, 7)
+	return atomic.LoadInt64(&s.Queries)
+}
+
+func plainWrites(s *Stats) {
+	s.Tasks++      // want "plain write to atomic counter Stats.Tasks"
+	s.Queries = 4  // want "plain write to atomic counter Stats.Queries"
+	s.Tasks += 2   // want "plain write to atomic counter Stats.Tasks"
+	s.Label = "ok" // not a counter
+	s.Small = 1    // not a counter
+}
+
+func plainRead(s *Stats) int64 {
+	return s.Queries // want "plain read of atomic counter Stats.Queries"
+}
+
+func addressEscape(s *Stats) *int64 {
+	return &s.Tasks // want "address of atomic counter Stats.Tasks escapes"
+}
+
+// construction is not access: the value is unpublished.
+func construct() *Stats {
+	return &Stats{Label: "fresh"}
+}

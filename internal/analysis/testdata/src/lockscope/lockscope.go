@@ -1,0 +1,79 @@
+// Package lockscope is the golden-file fixture for hhlint's lockscope
+// pass: engine mirrors the learner's lock + agent-visible callback shape
+// (a function-typed field like a user clock, an oracle interface), and
+// each violation carries a `// want` expectation.
+package lockscope
+
+import "sync"
+
+type oracle interface {
+	Mine(n int) []int
+}
+
+type engine struct {
+	mu     sync.Mutex
+	hook   func() int
+	oracle oracle
+	n      int
+}
+
+// badFieldHook invokes an agent-supplied function value while holding mu.
+func badFieldHook(e *engine) {
+	e.mu.Lock()
+	e.hook() // want "call through function value e.hook while holding e.mu"
+	e.mu.Unlock()
+}
+
+// badOracle re-enters the oracle under the lock: if Mine calls back into
+// the engine, it deadlocks on mu.
+func badOracle(e *engine) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.oracle.Mine(1) // want "call to Mine while holding e.mu"
+}
+
+// badParamHook: caller-injected callbacks are agent-visible too.
+func badParamHook(e *engine, report func() int) {
+	e.mu.Lock()
+	report() // want "call through function value report while holding e.mu"
+	e.mu.Unlock()
+}
+
+// evalLocked follows the …Locked convention: the caller holds the lock,
+// so the same rule applies to the whole body.
+func evalLocked(e *engine) int {
+	return e.hook() // want "call through function value e.hook while holding a caller-held lock"
+}
+
+// --- locks copied by value -------------------------------------------------
+
+func copyParam(e engine) int { // want "parameter of copyParam passes a lock by value"
+	return e.n
+}
+
+func (e engine) copyRecv() int { // want "receiver of copyRecv passes a lock by value"
+	return e.n
+}
+
+func copyResult() (e engine) { // want "result of copyResult passes a lock by value"
+	return
+}
+
+// --- clean shapes ----------------------------------------------------------
+
+// okOutside releases the lock before calling out.
+func okOutside(e *engine) int {
+	e.mu.Lock()
+	n := e.n
+	e.mu.Unlock()
+	return e.hook() + n
+}
+
+// okLocal: calls to local closures (not caller-injected) are fine under
+// the lock — they are engine code.
+func okLocal(e *engine) int {
+	double := func(v int) int { return 2 * v }
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return double(e.n)
+}

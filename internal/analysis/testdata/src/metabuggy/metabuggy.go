@@ -1,0 +1,54 @@
+// Package metabuggy is a deliberately buggy fixture with NO `// want`
+// comments: the harness meta-test asserts that running the default passes
+// over it yields exactly the expected diagnostic set — no more, no less.
+// harness_test.go locates each bug by the marker substring on its line.
+package metabuggy
+
+import "sync"
+
+// hhlint:atomic-counters
+type stats struct {
+	Hits int64
+}
+
+func bumpPlain(s *stats) {
+	s.Hits++ // BUG(atomicstats): plain write
+}
+
+type enc struct{ n int }
+
+type cache struct{ m map[uint64]*enc }
+
+func (c *cache) checkout(key string, cone uint64) *enc {
+	e := c.m[cone]
+	delete(c.m, cone)
+	return e
+}
+
+func (c *cache) checkin(key string, cone uint64, e *enc) { c.m[cone] = e }
+
+func dropCheckout(c *cache) {
+	c.checkout("k", 1) // BUG(pooledowner): discarded checkout
+}
+
+type sel int
+
+type solver struct{ groups map[sel]bool }
+
+func (s *solver) NewSelector() sel { return sel(len(s.groups)) }
+func (s *solver) Release(v sel)    { delete(s.groups, v) }
+
+func dropSelector(s *solver) {
+	s.NewSelector() // BUG(selectorrelease): dropped result
+}
+
+type engine struct {
+	mu   sync.Mutex
+	hook func() int
+}
+
+func hookUnderLock(e *engine) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hook() // BUG(lockscope): callback under lock
+}

@@ -1,0 +1,12 @@
+package metabuggy
+
+// This file is named persist.go so it falls inside the flusherr pass's
+// durability scope (mirroring internal/hhoudini/persist.go).
+
+type store struct{ open bool }
+
+func (s *store) Close() error { s.open = false; return nil }
+
+func shutdown(s *store) {
+	s.Close() // BUG(flusherr): discarded error
+}

@@ -1,0 +1,81 @@
+// Package pooledowner is the golden-file fixture for hhlint's pooledowner
+// pass: enc/pool/cache mirror the engine's pooledEncoder/encoderPool/
+// VerifyCache ownership protocol (checkout → single owner → checkin).
+package pooledowner
+
+type enc struct{ n int }
+
+type cache struct{ m map[uint64]*enc }
+
+// checkout removes and returns the cached encoder — the pass self-
+// configures its "owned" type set from this signature.
+func (c *cache) checkout(key string, cone uint64) *enc {
+	if e, ok := c.m[cone]; ok {
+		delete(c.m, cone)
+		return e
+	}
+	return nil
+}
+
+func (c *cache) checkin(key string, cone uint64, e *enc) { c.m[cone] = e }
+
+type pool struct {
+	entries map[uint64]*enc
+	cache   *cache
+}
+
+// retire mirrors encoderPool.retire: checking each encoder in inside the
+// loop is fine (no textual use after the hand-off).
+func (p *pool) retire() {
+	for ck, e := range p.entries {
+		p.cache.checkin("k", ck, e)
+	}
+	p.entries = nil
+}
+
+func useAfterRetire(p *pool) int {
+	p.retire()
+	return len(p.entries) // want "use of p after it was handed to retire"
+}
+
+func useAfterCheckin(c *cache, e *enc) int {
+	c.checkin("k", 1, e)
+	return e.n // want "use of e after it was handed to checkin"
+}
+
+// deferredRetireOK mirrors the worker loop: a deferred retire runs at
+// function end, so later uses are fine.
+func deferredRetireOK(p *pool) int {
+	defer p.retire()
+	return len(p.entries)
+}
+
+func dropCheckout(c *cache) {
+	c.checkout("k", 1) // want "checkout result discarded"
+}
+
+func blankCheckout(c *cache) {
+	_ = c.checkout("k", 2) // want "checkout result assigned to blank identifier"
+}
+
+func leakCheckout(c *cache) bool {
+	e := c.checkout("k", 3) // want "checked-out value e is neither stored, returned, nor checked back in"
+	return e != nil
+}
+
+// The sanctioned ownership paths: store into a pool map, return to the
+// caller, or hand straight back.
+func storeOK(p *pool, c *cache) {
+	e := c.checkout("k", 4)
+	p.entries[4] = e
+}
+
+func returnOK(c *cache) *enc {
+	e := c.checkout("k", 5)
+	return e
+}
+
+func bounceOK(c *cache) {
+	e := c.checkout("k", 6)
+	c.checkin("k", 6, e)
+}

@@ -1,0 +1,96 @@
+// Package selectorrelease is the golden-file fixture for hhlint's
+// selectorrelease pass: solver/sel mirror the incremental SAT backend's
+// Solver.NewSelector/Release protocol, and each leak carries a `// want`
+// expectation.
+package selectorrelease
+
+type sel int
+
+type solver struct {
+	groups map[sel][]int
+}
+
+func (s *solver) NewSelector() sel {
+	v := sel(len(s.groups) + 1)
+	s.groups[v] = nil
+	return v
+}
+
+func (s *solver) Release(v sel) { delete(s.groups, v) }
+
+func (s *solver) assume(v sel) bool { return len(s.groups[v]) == 0 }
+
+func work() (bool, error) { return false, nil }
+
+// leakNoRelease acquires and never covers the selector on any path.
+func leakNoRelease(s *solver) {
+	v := s.NewSelector() // want "selector v is neither Released, stored, nor returned before the function ends"
+	s.assume(v)
+}
+
+// leakEarlyReturn is the canonical bug: the error path returns between
+// acquisition and the eventual Release.
+func leakEarlyReturn(s *solver) error {
+	v := s.NewSelector()
+	ok, err := work()
+	if err != nil {
+		return err // want "return leaks selector v acquired at"
+	}
+	_ = ok
+	s.Release(v)
+	return nil
+}
+
+func dropped(s *solver) {
+	s.NewSelector() // want "NewSelector result dropped"
+}
+
+func blank(s *solver) {
+	_ = s.NewSelector() // want "NewSelector result assigned to blank identifier"
+}
+
+// --- the sanctioned shapes -------------------------------------------------
+
+func releaseOK(s *solver) {
+	v := s.NewSelector()
+	s.assume(v)
+	s.Release(v)
+}
+
+// deferReleaseOK: a deferred Release covers every return path, including
+// the early error return.
+func deferReleaseOK(s *solver) error {
+	v := s.NewSelector()
+	defer s.Release(v)
+	if _, err := work(); err != nil {
+		return err
+	}
+	s.assume(v)
+	return nil
+}
+
+type owner struct {
+	sels  map[uint64]sel
+	bySel map[sel]uint64
+	order []sel
+	ch    chan sel
+}
+
+// storeOK: an ownership escape (map value, map key, field, append, send)
+// means some owner now tracks the selector.
+func storeOK(s *solver, o *owner) {
+	a := s.NewSelector()
+	o.sels[1] = a
+	b := s.NewSelector()
+	o.bySel[b] = 2
+	c := s.NewSelector()
+	o.order = append(o.order, c)
+	d := s.NewSelector()
+	o.ch <- d
+}
+
+// returnedOK: ownership transfers to the caller.
+func returnedOK(s *solver) sel {
+	v := s.NewSelector()
+	return v
+}

@@ -1,0 +1,61 @@
+// Package suppress is the golden-file fixture for hhlint's suppression
+// comments: well-formed ignores silence the named pass on their line (or
+// the next line), wrong-pass ignores do not, and malformed or unknown-pass
+// ignores are themselves diagnostics under the "hhlint" pseudo-pass.
+package suppress
+
+import "sync/atomic"
+
+// Stats mirrors the engine's annotated counter block.
+//
+// hhlint:atomic-counters
+type Stats struct {
+	N int64
+}
+
+// standaloneOK: a standalone ignore suppresses the next line.
+func standaloneOK(s *Stats) {
+	//hhlint:ignore atomicstats test fixture exercises standalone suppression
+	s.N++
+}
+
+// trailingOK: a trailing ignore suppresses its own line.
+func trailingOK(s *Stats) {
+	s.N = 7 //hhlint:ignore atomicstats test fixture exercises trailing suppression
+}
+
+// allOK: the "all" wildcard silences every pass on the target line.
+func allOK(s *Stats) int64 {
+	//hhlint:ignore all test fixture exercises the all wildcard
+	return s.N
+}
+
+// multiOK: comma-separated pass lists are honoured.
+func multiOK(s *Stats) {
+	s.N += 2 //hhlint:ignore atomicstats,lockscope test fixture exercises multi-pass suppression
+}
+
+// wrongPass: suppressing a different pass leaves the finding intact.
+func wrongPass(s *Stats) {
+	//hhlint:ignore flusherr this names the wrong pass so atomicstats still fires
+	s.N++ // want "plain write to atomic counter Stats.N"
+}
+
+// missingReason: a suppression without a justification is malformed and is
+// reported itself; it suppresses nothing, so the write below still fires.
+func missingReason(s *Stats) {
+	/*hhlint:ignore atomicstats*/ // want "malformed suppression"
+	s.N++                         // want "plain write to atomic counter Stats.N"
+}
+
+// unknownPass: typos must not silently disable enforcement.
+func unknownPass(s *Stats) {
+	/*hhlint:ignore nosuchpass the pass name is a typo*/ // want "suppression names unknown pass"
+	s.N++                                                // want "plain write to atomic counter Stats.N"
+}
+
+// good needs no suppression at all.
+func good(s *Stats) int64 {
+	atomic.AddInt64(&s.N, 1)
+	return atomic.LoadInt64(&s.N)
+}

@@ -37,6 +37,11 @@ type ProofDB struct {
 	attached []*VerifyCache
 	seen     map[*VerifyCache]bool
 	closed   bool
+	// flushErr is the most recent background-flusher failure (hhlint's
+	// flusherr pass rejects silently dropped flush errors; the background
+	// loop cannot propagate, so it records here and LastFlushErr exposes
+	// it). A later successful flush clears it.
+	flushErr error
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -97,7 +102,10 @@ func (p *ProofDB) Flush() error {
 }
 
 // flushLoop is the optional background flusher: interval flushes until the
-// context is cancelled, then one final flush before signalling done.
+// context is cancelled, then one final flush before signalling done. A
+// failed interval flush cannot propagate to any caller, so it is recorded
+// (LastFlushErr) instead of dropped; Close still performs the last durable
+// flush and returns its error.
 func (p *ProofDB) flushLoop(ctx context.Context, interval time.Duration) {
 	defer close(p.done)
 	t := time.NewTicker(interval)
@@ -105,11 +113,23 @@ func (p *ProofDB) flushLoop(ctx context.Context, interval time.Duration) {
 	for {
 		select {
 		case <-t.C:
-			p.Flush() // best-effort; Close performs the last durable flush
+			err := p.Flush()
+			p.mu.Lock()
+			p.flushErr = err
+			p.mu.Unlock()
 		case <-ctx.Done():
 			return
 		}
 	}
+}
+
+// LastFlushErr reports the outcome of the most recent background flush:
+// nil when the flusher is off or the last interval flush succeeded. Close
+// remains the authoritative durability point.
+func (p *ProofDB) LastFlushErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushErr
 }
 
 // Stats returns the underlying store's counters.

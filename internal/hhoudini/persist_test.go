@@ -278,6 +278,50 @@ func TestBackgroundFlusher(t *testing.T) {
 	}
 }
 
+// TestConcurrentAttachFlushLastErr races the background flusher against
+// explicit Flush calls, late Attach of fresh caches, and LastFlushErr polls:
+// the binding's lock discipline must hold under the race detector, and a
+// healthy store must never report a flush error.
+func TestConcurrentAttachFlushLastErr(t *testing.T) {
+	dir := t.TempDir()
+	cache := NewVerifyCache()
+	p, err := OpenProofDB(dir, cache, ProofDBConfig{FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	learnOnce(t, warmOptions(cache))
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 30; i++ {
+			late := NewVerifyCache()
+			p.Attach(late)
+			if err := p.Flush(); err != nil {
+				t.Errorf("Flush: %v", err)
+			}
+			_ = p.Stats()
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		if err := p.LastFlushErr(); err != nil {
+			t.Errorf("LastFlushErr on a healthy store: %v", err)
+		}
+	}
+	<-done
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := proofdb.Open(dir, proofdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Snapshot().Len() == 0 {
+		t.Fatal("nothing persisted")
+	}
+}
+
 // TestBoundProofDBRegistry: one ProofDB per directory per process, shared
 // by every learner that names it.
 func TestBoundProofDBRegistry(t *testing.T) {

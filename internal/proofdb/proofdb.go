@@ -216,6 +216,7 @@ func (db *DB) load() error {
 	if err != nil {
 		return err
 	}
+	//hhlint:ignore flusherr read-only file: a Close error after reading cannot lose data
 	defer f.Close()
 	if fi, err := f.Stat(); err == nil {
 		db.stats.BytesOnDisk = fi.Size()
@@ -389,9 +390,13 @@ type flushLine struct {
 // least-recently-used records beyond the byte budget. The write is
 // crash-safe — temp file, fsync, rename, directory fsync.
 func (db *DB) Flush() error {
+	// Read the clock before taking db.mu: Options.Now is a user-supplied
+	// callback and must not run under the store lock (lockscope invariant —
+	// a re-entrant clock could deadlock against Flush).
+	now := db.opts.now()
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.evictExpiredLocked()
+	db.evictExpiredLocked(now)
 	lines, err := db.encodeLocked()
 	if err != nil {
 		return err
@@ -405,6 +410,7 @@ func (db *DB) Flush() error {
 	kept := lines[:0]
 	for _, ln := range lines {
 		if budget > 0 && total+int64(len(ln.data)) > budget {
+			//hhlint:ignore lockscope drop closures are module-internal (built in encodeLocked) and only touch db.keys, which db.mu — held here — guards
 			ln.drop()
 			db.stats.BudgetEvicted++
 			continue
@@ -430,13 +436,15 @@ func (db *DB) Flush() error {
 // Close is just the final durability point.
 func (db *DB) Close() error { return db.Flush() }
 
-// evictExpiredLocked drops records older than MaxAge from the model.
-func (db *DB) evictExpiredLocked() {
+// evictExpiredLocked drops records older than MaxAge from the model. The
+// caller supplies the current time: reading the (user-overridable) clock
+// under db.mu would run a callback inside the lock.
+func (db *DB) evictExpiredLocked(now time.Time) {
 	age := db.opts.maxAge()
 	if age <= 0 {
 		return
 	}
-	cutoff := db.opts.now().Add(-age).Unix()
+	cutoff := now.Add(-age).Unix()
 	for key, ks := range db.keys {
 		for fp, rec := range ks.clauses {
 			if rec.at < cutoff {
@@ -518,11 +526,13 @@ func atomicWrite(path string, data []byte) error {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
+		//hhlint:ignore flusherr cleanup on an already-failed write; the write error is the one propagated
 		f.Close()
 		os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
+		//hhlint:ignore flusherr cleanup on an already-failed fsync; the fsync error is the one propagated
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -536,7 +546,9 @@ func atomicWrite(path string, data []byte) error {
 		return err
 	}
 	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		dir.Sync() // best-effort durability of the rename itself
+		//hhlint:ignore flusherr directory fsync is best-effort: some filesystems reject it and the rename above is already atomic
+		dir.Sync()
+		//hhlint:ignore flusherr read-only directory handle; nothing to lose on Close
 		dir.Close()
 	}
 	return nil
