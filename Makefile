@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build lint test race race-proofdb bench-smoke bench bench-json bench-persist ci
+.PHONY: all vet build lint test race race-proofdb chaos bench-smoke bench bench-json bench-persist ci
 
 all: build
 
@@ -36,6 +36,17 @@ race-proofdb:
 	$(GO) test -race ./internal/proofdb/
 	$(GO) test -race -run 'TestConcurrent|TestBackgroundFlusher' ./internal/...
 
+# Chaos tier: fault-injection (internal/faultinject) and cancellation
+# robustness, race-enabled. The regex matches by prefix, so every
+# TestChaos* / TestCancel* / TestInterrupt* anywhere in the module joins
+# this tier automatically (currently: forced solver Unknowns and budget
+# escalation, injected worker panics, failed proof-store writes, stretched
+# queries, mid-Learn cancellation sweeps, and the root-package OoO
+# cancellation acceptance test). See DESIGN.md "Robustness & fault
+# isolation".
+chaos:
+	$(GO) test -race -run 'TestChaos|TestCancel|TestInterrupt' ./...
+
 # One iteration of every benchmark: catches bit-rot in the harness without
 # paying for stable timings.
 bench-smoke:
@@ -56,4 +67,4 @@ bench-persist:
 	$(GO) run ./cmd/benchjson -persist -design execstage -runs 3 -out BENCH_proofdb.json
 	$(GO) run ./cmd/benchjson -check BENCH_proofdb.json
 
-ci: vet build lint race race-proofdb bench-smoke bench-json bench-persist
+ci: vet build lint race race-proofdb chaos bench-smoke bench-json bench-persist

@@ -316,8 +316,32 @@ func OpenProofDB(dir string, vc *VerifyCache, cfg ProofDBConfig) (*ProofDB, erro
 func CloseProofDBs() error { return core.CloseProofDBs() }
 
 // Audit monolithically verifies a learned invariant (initiation,
-// consecution, property).
+// consecution, property). Its consecution query runs under
+// DefaultAuditConflicts; AuditBudget chooses the budget explicitly.
 func Audit(sys *System, inv *Invariant) error { return core.Audit(sys, inv) }
+
+// AuditBudget is Audit with an explicit conflict budget on the consecution
+// query (<= 0 solves unbounded); exhaustion returns an error wrapping
+// ErrBudgetExceeded.
+func AuditBudget(sys *System, inv *Invariant, conflicts int64) error {
+	return core.AuditBudget(sys, inv, conflicts)
+}
+
+// DefaultAuditConflicts is Audit's default consecution budget.
+const DefaultAuditConflicts = core.DefaultAuditConflicts
+
+// --- Robustness ---------------------------------------------------------------
+
+// ErrBudgetExceeded is the typed verdict for a solver query abandoned at
+// its conflict-budget cap (LearnerOptions.MaxSolverConflicts, AuditBudget).
+// Test with errors.Is; a budget exhaustion is a resource verdict, never a
+// soundness one, so retrying with a larger budget is always legitimate.
+var ErrBudgetExceeded = core.ErrBudgetExceeded
+
+// PanicError reports a panic captured at a learner worker's recover
+// boundary: the Learn fails with this stack-carrying error while the
+// process survives.
+type PanicError = core.PanicError
 
 // --- Baselines ------------------------------------------------------------------------
 

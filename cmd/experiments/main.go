@@ -17,16 +17,25 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	hh "hhoudini"
 )
+
+// runCtx is the sweep-wide context: the first SIGINT/SIGTERM cancels it, so
+// the in-flight learning run interrupts its solvers, drains and flushes any
+// bound proof store before the process exits through die(); a second signal
+// force-exits (default disposition is restored after the first).
+var runCtx context.Context = context.Background()
 
 var (
 	flagTable1    = flag.Bool("table1", false, "Table 1: design and invariant sizes")
@@ -51,6 +60,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var cancel context.CancelFunc
+	runCtx, cancel = context.WithCancel(runCtx)
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %v: cancelling (a second signal force-exits)\n", sig)
+		signal.Stop(sigc) // second signal takes the default (terminating) action
+		cancel()
+	}()
 	if *flagAll || *flagTable1 {
 		table1()
 	}
@@ -85,6 +108,12 @@ func main() {
 
 func die(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
+	// os.Exit skips defers: flush any proof stores bound during the sweep
+	// (the ablation/crossrun rows open them) so a cancellation mid-sweep
+	// still persists partial progress.
+	if cerr := hh.CloseProofDBs(); cerr != nil {
+		fmt.Fprintln(os.Stderr, "experiments: proof store close:", cerr)
+	}
 	os.Exit(1)
 }
 
@@ -135,7 +164,7 @@ func verify(t *hh.Target, opts hh.AnalysisOptions) (*hh.Analysis, *hh.Result) {
 	if err != nil {
 		die(err)
 	}
-	res, err := a.Verify(safeSetFor(t))
+	res, err := a.VerifyCtx(runCtx, safeSetFor(t))
 	if err != nil {
 		die(err)
 	}
@@ -167,7 +196,7 @@ func table2() {
 		if err != nil {
 			die(err)
 		}
-		syn, err := a.Synthesize()
+		syn, err := a.SynthesizeCtx(runCtx)
 		if err != nil {
 			die(err)
 		}
@@ -284,7 +313,7 @@ func speedup() {
 		safe := safeSetFor(t)
 
 		start := time.Now()
-		res, err := a.Verify(safe)
+		res, err := a.VerifyCtx(runCtx, safe)
 		if err != nil {
 			die(err)
 		}
@@ -358,7 +387,7 @@ func ablations() {
 			die(err)
 		}
 		start := time.Now()
-		res, err := a.Verify(safe)
+		res, err := a.VerifyCtx(runCtx, safe)
 		if err != nil {
 			die(err)
 		}
@@ -370,15 +399,19 @@ func ablations() {
 		} else {
 			size = res.Invariant.Size()
 		}
-		var diskHits int64
+		var diskHits, retries, abandons int64
 		if res.Stats != nil {
 			tasks, backtracks = res.Stats.Tasks, res.Stats.Backtracks
 			encClauses, solvers = res.Stats.EncodedClauses, res.Stats.SolverAllocs
 			diskHits = res.Stats.CacheDiskHits
+			retries, abandons = res.Stats.QueryRetries, res.Stats.QueryBudgetAbandons
 		}
 		extra := ""
 		if diskHits > 0 {
 			extra = fmt.Sprintf(" disk-hits=%d", diskHits)
+		}
+		if retries > 0 || abandons > 0 {
+			extra += fmt.Sprintf(" retries=%d abandons=%d", retries, abandons)
 		}
 		fmt.Printf("%-34s %-5s time=%8.2fs inv=%4d tasks=%5d backtracks=%5d solvers=%5d enc-clauses=%9d%s\n",
 			name, status, time.Since(start).Seconds(), size, tasks, backtracks, solvers, encClauses, extra)
@@ -402,6 +435,19 @@ func ablations() {
 	o.Learner.CrossRunCache = false
 	run("no cross-run cache (cold run)", o)
 
+	// Budget-escalation ablation: a deliberately tiny first rung forces the
+	// retry ladder to engage on every nontrivial query (retries > 0 in the
+	// row output), against the disabled-ladder single-unbounded-attempt
+	// configuration. The invariant must be identical either way — escalation
+	// trades extra bounded probes for never hanging on a hard query.
+	o = hh.DefaultAnalysisOptions()
+	o.Learner.InitialSolverConflicts = 1
+	run("budget escalation (1-conflict rung)", o)
+
+	o = hh.DefaultAnalysisOptions()
+	o.Learner.InitialSolverConflicts = -1
+	run("no budget escalation (unbounded)", o)
+
 	// Warm cross-run cache: verify once into a private cache, then measure a
 	// second, fully warmed verification of the same system.
 	o = hh.DefaultAnalysisOptions()
@@ -411,7 +457,7 @@ func ablations() {
 		if err != nil {
 			die(err)
 		}
-		if res, err := a.Verify(safe); err != nil || res.Invariant == nil {
+		if res, err := a.VerifyCtx(runCtx, safe); err != nil || res.Invariant == nil {
 			die(fmt.Errorf("cross-run warmup failed: %v", err))
 		}
 	}
@@ -482,7 +528,7 @@ func crossrun() {
 		var coldClauses int64
 		for i := 0; i < rounds; i++ {
 			start := time.Now()
-			res, err := aCold.Verify(safe)
+			res, err := aCold.VerifyCtx(runCtx, safe)
 			if err != nil {
 				die(err)
 			}
@@ -503,7 +549,7 @@ func crossrun() {
 		var warmClauses, encHits, verdictHits int64
 		for i := 0; i < rounds; i++ {
 			start := time.Now()
-			res, err := aWarm.Verify(safe)
+			res, err := aWarm.VerifyCtx(runCtx, safe)
 			if err != nil {
 				die(err)
 			}

@@ -12,11 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	hh "hhoudini"
@@ -38,7 +42,47 @@ var (
 	flagSeed       = flag.Int64("seed", 1, "example-generation seed")
 	flagCert       = flag.String("cert", "", "write a btor2 certificate of the learned invariant to this file")
 	flagVCD        = flag.String("vcd", "", "with -btor2: write the first counterexample trace as a VCD waveform to this file")
+	flagTimeout    = flag.Duration("timeout", 0, "overall deadline for the analysis (0 = none); on expiry the in-flight learning run is cancelled")
 )
+
+// shutdown flushes and closes the persistent proof stores exactly once.
+// Every exit path — normal return, die(), the verify None path and the
+// signal handler's cancellation — funnels through it, so a SIGINT no
+// longer skips the final proof-store flush.
+var shutdown = sync.OnceFunc(func() {
+	if *flagCacheDir != "" {
+		if err := hh.CloseProofDBs(); err != nil {
+			fmt.Fprintln(os.Stderr, "veloct: proof store close:", err)
+		}
+	}
+})
+
+// analysisContext derives the run's context: the -timeout deadline plus a
+// SIGINT/SIGTERM handler. The first signal cancels the context — the
+// in-flight LearnCtx interrupts its solvers, drains, and flushes the proof
+// store — and re-enables default signal disposition, so a second signal
+// force-exits the process.
+func analysisContext() (context.Context, context.CancelFunc) {
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if *flagTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *flagTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "veloct: %v: cancelling (a second signal force-exits)\n", sig)
+		signal.Stop(sigc) // second signal takes the default (terminating) action
+		cancel()
+	}()
+	return ctx, cancel
+}
 
 func main() {
 	flag.Parse()
@@ -55,10 +99,10 @@ func main() {
 		*flagCacheDir = hh.DefaultCacheDir
 	}
 	if *flagCacheDir != "" {
-		// Every Learn flushes the store at shutdown; CloseProofDBs below is
-		// the final durability point on clean exits.
+		// Every Learn flushes the store at shutdown; shutdown() is the
+		// final durability point on every exit path (including signals).
 		opts.Learner.CacheDir = *flagCacheDir
-		defer hh.CloseProofDBs()
+		defer shutdown()
 	}
 	opts.Examples.Seed = *flagSeed
 	analysis, err := hh.NewAnalysis(tgt, opts)
@@ -66,14 +110,17 @@ func main() {
 		die(err)
 	}
 
+	ctx, cancel := analysisContext()
+	defer cancel()
+
 	fmt.Printf("design %s: %d state bits, %d inputs bits, %d AIG nodes\n",
 		tgt.Name, tgt.Circuit.NumStateBits(), tgt.Circuit.NumInputBits(), tgt.Circuit.NumNodes())
 
 	if *flagSynthesize || *flagSafe == "" {
-		synthesize(analysis)
+		synthesize(ctx, analysis)
 		return
 	}
-	verify(analysis, strings.Split(*flagSafe, ","))
+	verify(ctx, analysis, strings.Split(*flagSafe, ","))
 }
 
 // reportCacheCounters gates the cache counter block: scripted runs keep
@@ -94,6 +141,7 @@ func reportCacheCounters() bool {
 
 func die(err error) {
 	fmt.Fprintln(os.Stderr, "veloct:", err)
+	shutdown() // os.Exit skips defers; flush the proof stores explicitly
 	os.Exit(1)
 }
 
@@ -124,28 +172,29 @@ func buildDesign(name string) *hh.Target {
 	return tgt
 }
 
-func verify(a *hh.Analysis, safe []string) {
+func verify(ctx context.Context, a *hh.Analysis, safe []string) {
 	for i := range safe {
 		safe[i] = strings.TrimSpace(safe[i])
 	}
 	fmt.Printf("verifying safe set: %s\n", strings.Join(safe, ", "))
 	start := time.Now()
-	res, err := a.Verify(safe)
+	res, err := a.VerifyCtx(ctx, safe)
 	if err != nil {
 		die(err)
 	}
 	elapsed := time.Since(start)
 	if res.Invariant == nil {
 		fmt.Printf("RESULT: None (%s)\n", res.Reason)
+		shutdown()
 		os.Exit(1)
 	}
 	report(a, res, elapsed)
 }
 
-func synthesize(a *hh.Analysis) {
+func synthesize(ctx context.Context, a *hh.Analysis) {
 	fmt.Println("synthesizing the safe instruction set...")
 	start := time.Now()
-	syn, err := a.Synthesize()
+	syn, err := a.SynthesizeCtx(ctx)
 	if err != nil {
 		die(err)
 	}

@@ -114,6 +114,7 @@ func DefaultPasses() []*Pass {
 		AtomicStatsPass(),
 		FlushErrPass(),
 		LockScopePass(),
+		PanicScopePass(),
 		PooledOwnerPass(),
 		SelectorReleasePass(),
 	}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The panicscope pass guards the fault-isolation protocol around worker
+// panics and cancellation (DESIGN.md "Robustness & fault isolation"):
+//
+//  1. recover() may appear only inside functions whose doc comment carries
+//     the `hhlint:panic-boundary` marker. The learner's containment story
+//     depends on panics crossing exactly one boundary — the worker task
+//     runner — where they are converted into *PanicError values with the
+//     stack attached. A stray recover() anywhere else either swallows a
+//     panic the boundary was supposed to see (losing the stack and the
+//     failed-task accounting) or masks a real bug as silent success.
+//     Function literals nested inside a marked function (the idiomatic
+//     `defer func() { recover() }()` form) inherit the marker.
+//
+//  2. context.Context must be the first parameter of any function that
+//     accepts one (the standard library convention, load-bearing here:
+//     cancellation flows LearnCtx → workers → solvers through call
+//     parameters, and a ctx hidden mid-signature is a ctx reviewers miss).
+//
+//  3. context.Context must never be stored in a struct field. A stored
+//     context outlives the call it scoped, so cancellation either fires
+//     long after the caller has moved on or never reaches the work it was
+//     meant to stop (see the context package's own documentation).
+//     Package-level variables (e.g. a process-lifetime root context in a
+//     main package) are deliberately not flagged.
+//
+// All three rules are syntactic and intra-procedural; genuinely exceptional
+// sites take an `//hhlint:ignore panicscope <reason>`.
+
+// panicBoundaryMarker designates a function as a sanctioned recover() site.
+const panicBoundaryMarker = "hhlint:panic-boundary"
+
+// PanicScopePass returns the panicscope pass.
+func PanicScopePass() *Pass {
+	return &Pass{
+		Name: "panicscope",
+		Doc:  "recover() only at marked panic boundaries; context.Context first-parameter only, never stored in a field",
+		Run:  runPanicScope,
+	}
+}
+
+func runPanicScope(c *Context) {
+	for _, file := range c.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, _ := decl.(*ast.FuncDecl)
+			marked := fd != nil && docContains(panicBoundaryMarker, fd.Doc)
+			boundary := "the enclosing function"
+			if fd != nil {
+				boundary = fd.Name.Name
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.CallExpr:
+					if !marked && isBuiltinRecover(c, node) {
+						c.Reportf(node.Pos(), "recover() outside a designated panic boundary (add %q to %s's doc comment if it is a worker entry point)", panicBoundaryMarker, boundary)
+					}
+				case *ast.FuncType:
+					checkCtxParams(c, node)
+				case *ast.StructType:
+					for _, field := range node.Fields.List {
+						if isContextType(c.TypeOf(field.Type)) {
+							c.Reportf(field.Pos(), "context.Context stored in a struct field (thread it through call parameters instead; stored contexts outlive their cancellation scope)")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkCtxParams reports context.Context parameters that are not in the
+// leading position of the (receiver-excluded) parameter list.
+func checkCtxParams(c *Context, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter still occupies a position
+		}
+		if isContextType(c.TypeOf(field.Type)) {
+			if idx > 0 {
+				c.Reportf(field.Pos(), "context.Context must be the first parameter (found at position %d)", idx+1)
+			} else if n > 1 {
+				c.Reportf(field.Pos(), "only one leading context.Context parameter is allowed")
+			}
+		}
+		idx += n
+	}
+}
+
+// isBuiltinRecover reports whether call invokes the builtin recover (a
+// shadowing local named recover resolves to a *types.Var and is exempt).
+func isBuiltinRecover(c *Context, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "recover" {
+		return false
+	}
+	_, ok = c.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+// isContextType reports whether t is context.Context (through aliases).
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

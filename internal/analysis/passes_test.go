@@ -19,6 +19,7 @@ func TestGoldenPasses(t *testing.T) {
 		{"selectorrelease", 2},
 		{"flusherr", 2},
 		{"lockscope", 2},
+		{"panicscope", 2},
 		{"suppress", 2},
 	}
 	for _, tc := range cases {

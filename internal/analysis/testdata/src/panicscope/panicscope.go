@@ -1,0 +1,62 @@
+// Package panicscope exercises the panicscope pass: recover() containment
+// at marked boundaries, context-first parameters, and the stored-context ban.
+package panicscope
+
+import "context"
+
+// runTask is the designated worker boundary: it converts worker panics into
+// errors for the scheduler. (hhlint:panic-boundary)
+func runTask() (err error) {
+	defer func() {
+		if r := recover(); r != nil { // ok: literal inherits the decl's marker
+			err = nil
+		}
+	}()
+	return nil
+}
+
+// drain has no marker, so neither its body nor its deferred literal may
+// call recover.
+func drain() {
+	defer func() {
+		recover() // want "recover\\(\\) outside a designated panic boundary"
+	}()
+}
+
+func inline() {
+	if r := recover(); r != nil { // want "recover\\(\\) outside a designated panic boundary"
+		_ = r
+	}
+}
+
+// shadowed recover: a local function value named recover is not the builtin
+// and must not be flagged.
+func shadowed() {
+	recover := func() any { return nil }
+	_ = recover() // ok: resolves to the local var, not the builtin
+}
+
+// goodCtx follows the convention: context first.
+func goodCtx(ctx context.Context, n int) { _ = ctx; _ = n }
+
+func badCtx(n int, ctx context.Context) { // want "context.Context must be the first parameter"
+	_ = n
+	_ = ctx
+}
+
+// badCallback: the rule applies to function types anywhere, including
+// callback fields and type declarations.
+type badCallback func(name string, ctx context.Context) // want "context.Context must be the first parameter"
+
+type session struct {
+	ctx context.Context // want "context.Context stored in a struct field"
+	n   int
+}
+
+type okSession struct {
+	n int
+}
+
+var _ = session{}
+var _ = okSession{}
+var _ badCallback

@@ -1,0 +1,132 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsInert(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("fresh registry must be disabled")
+	}
+	if Fire(SolverUnknown) {
+		t.Fatal("unarmed point fired")
+	}
+	if err := FireErr(ProofDBWrite); err != nil {
+		t.Fatalf("unarmed FireErr = %v", err)
+	}
+	Sleep(QueryDelay) // must not block
+}
+
+func TestSkipAndCount(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(SolverUnknown, Spec{Skip: 2, Count: 3})
+	if !Enabled() {
+		t.Fatal("armed registry must be enabled")
+	}
+	got := make([]bool, 0, 7)
+	for i := 0; i < 7; i++ {
+		got = append(got, Fire(SolverUnknown))
+	}
+	want := []bool{false, false, true, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: fired=%v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if Fired(SolverUnknown) != 3 {
+		t.Fatalf("Fired = %d, want 3", Fired(SolverUnknown))
+	}
+}
+
+func TestDefaultCountIsOne(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(WorkerPanic, Spec{})
+	if !Fire(WorkerPanic) || Fire(WorkerPanic) {
+		t.Fatal("Count=0 must arm exactly one fire")
+	}
+}
+
+func TestUnlimitedCount(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(SolverUnknown, Spec{Count: -1})
+	for i := 0; i < 100; i++ {
+		if !Fire(SolverUnknown) {
+			t.Fatalf("event %d: unlimited point stopped firing", i)
+		}
+	}
+}
+
+func TestFireErr(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(ProofDBWrite, Spec{Count: 1})
+	if err := FireErr(ProofDBWrite); !errors.Is(err, ErrInjected) {
+		t.Fatalf("default error = %v, want ErrInjected", err)
+	}
+	sentinel := errors.New("disk on fire")
+	Arm(ProofDBWrite, Spec{Count: 1, Err: sentinel})
+	if err := FireErr(ProofDBWrite); !errors.Is(err, sentinel) {
+		t.Fatalf("custom error = %v, want sentinel", err)
+	}
+	if Fired(ProofDBWrite) != 2 {
+		t.Fatalf("Fired survives re-Arm: got %d, want 2", Fired(ProofDBWrite))
+	}
+}
+
+func TestSleepDelays(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(QueryDelay, Spec{Count: 1, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	Sleep(QueryDelay)
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("armed Sleep returned after %v", d)
+	}
+	start = time.Now()
+	Sleep(QueryDelay) // exhausted: no delay
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("exhausted Sleep blocked for %v", d)
+	}
+}
+
+// TestChaosConcurrentFire exercises the registry from many goroutines under
+// the race detector: the total fire count must match the armed budget
+// exactly (no double-fires, no lost fires).
+func TestChaosConcurrentFire(t *testing.T) {
+	Reset()
+	defer Reset()
+	const budget = 1000
+	Arm(SolverUnknown, Spec{Count: budget})
+	var fired int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for i := 0; i < 10*budget; i++ {
+				if Enabled() && Fire(SolverUnknown) {
+					local++
+				}
+			}
+			mu.Lock()
+			fired += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if fired != budget {
+		t.Fatalf("total fires = %d, want exactly %d", fired, budget)
+	}
+	if Fired(SolverUnknown) != budget {
+		t.Fatalf("Fired = %d, want %d", Fired(SolverUnknown), budget)
+	}
+}

@@ -6,8 +6,108 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hhoudini/internal/faultinject"
 	"hhoudini/internal/sat"
 )
+
+// Escalation-ladder tuning (Options.InitialSolverConflicts documents the
+// user-facing semantics).
+const (
+	// defaultInitialConflicts is the first-attempt budget when
+	// Options.InitialSolverConflicts is 0. Small on purpose: H-Houdini's
+	// whole premise (§3.2.4) is that relative-induction queries are
+	// individually cheap, so the common case resolves on the first rung and
+	// the ladder only pays for the rare hard query.
+	defaultInitialConflicts = 2048
+	// escalationFactor multiplies the budget after each Unknown.
+	escalationFactor = 4
+	// escalationUnboundedAfter: with no user limit, once the next rung would
+	// exceed this many conflicts the final attempt runs unbounded — matching
+	// the pre-ladder behaviour of never giving up, just with bounded
+	// intermediate probes.
+	escalationUnboundedAfter = 1 << 21
+)
+
+// solveAbduction answers one abduction query under the budget-escalation
+// ladder: bounded attempts starting at the configured initial conflict
+// budget, escalating ×escalationFactor per sat.Unknown (Stats.QueryRetries)
+// until the query resolves, the learner is cancelled (errLearnInterrupted),
+// or the ladder tops out at Options.MaxSolverConflicts (ErrBudgetExceeded,
+// Stats.QueryBudgetAbandons). Budgets are armed relative to the solver's
+// cumulative conflict count (sat.SetConflictBudget), so each rung grants
+// fresh effort even on a long-lived pooled solver; an escalated re-solve is
+// never wasted work either, since the solver keeps the learnt clauses of
+// the abandoned attempt.
+func (l *Learner) solveAbduction(s *sat.Solver, assumps []sat.Lit, target Pred) (sat.Status, []sat.Lit, error) {
+	initial := l.opts.InitialSolverConflicts
+	limit := l.opts.MaxSolverConflicts
+	if initial < 0 {
+		// Ladder disabled (the budget-escalation ablation): one attempt,
+		// bounded only by the user limit.
+		if limit > 0 {
+			s.SetConflictBudget(limit)
+		} else {
+			s.SetConflictBudget(-1)
+		}
+		st, core := s.SolveWithCore(assumps)
+		if st != sat.Unknown {
+			return st, core, nil
+		}
+		if l.stop.Load() || s.Interrupted() {
+			return st, nil, errLearnInterrupted
+		}
+		atomic.AddInt64(&l.stats.QueryBudgetAbandons, 1)
+		return st, nil, fmt.Errorf("abduction query for %s (single attempt, limit %d): %w", target, limit, ErrBudgetExceeded)
+	}
+	if initial == 0 {
+		initial = defaultInitialConflicts
+	}
+	budget := initial
+	if limit > 0 && budget > limit {
+		budget = limit
+	}
+	for {
+		if l.stop.Load() {
+			return sat.Unknown, nil, errLearnInterrupted
+		}
+		s.SetConflictBudget(budget) // budget<0 ⇒ unbounded final attempt
+		st, core := s.SolveWithCore(assumps)
+		if st != sat.Unknown {
+			return st, core, nil
+		}
+		if l.stop.Load() || s.Interrupted() {
+			return st, nil, errLearnInterrupted
+		}
+		atLimit := budget < 0 || (limit > 0 && budget >= limit)
+		if atLimit {
+			// An Unknown with no budget left and no interrupt is a solver
+			// give-up (in practice: an injected fault or a user limit).
+			atomic.AddInt64(&l.stats.QueryBudgetAbandons, 1)
+			return st, nil, fmt.Errorf("abduction query for %s (limit %d conflicts): %w", target, limit, ErrBudgetExceeded)
+		}
+		atomic.AddInt64(&l.stats.QueryRetries, 1)
+		budget *= escalationFactor
+		if limit > 0 {
+			if budget > limit {
+				budget = limit
+			}
+		} else if budget > escalationUnboundedAfter {
+			budget = -1 // final attempt unbounded
+		}
+	}
+}
+
+// armMinimizeBudget grants core minimization a fresh conflict allowance
+// after the main query resolved. MinimizeCore treats an Unknown deletion
+// probe as "keep the literal" — sound, merely less minimal — so a bounded
+// budget here can cost minimality but never correctness.
+func (l *Learner) armMinimizeBudget(s *sat.Solver) {
+	if limit := l.opts.MaxSolverConflicts; limit > 0 {
+		s.SetConflictBudget(limit)
+	} else {
+		s.SetConflictBudget(-1)
+	}
+}
 
 // abductResult is the outcome of one O_abduct invocation.
 type abductResult struct {
@@ -54,6 +154,11 @@ func (l *Learner) abduct(target Pred, cands []Pred, pool *encoderPool) (abductRe
 	defer func() {
 		l.stats.recordQuery(time.Since(start))
 	}()
+	if faultinject.Enabled() {
+		// Chaos tier: stretch the query to widen the cancellation races the
+		// interrupt protocol must win.
+		faultinject.Sleep(faultinject.QueryDelay)
+	}
 	var vk verdictKey
 	if l.cache != nil {
 		vk = verdictKeyFor(target, cands, l.opts.MinimizeCores)
@@ -117,15 +222,22 @@ func (l *Learner) abductFresh(target Pred, cands []Pred) (abductResult, error) {
 		bySel[s] = p
 	}
 
-	st, core := enc.S.SolveWithCore(sels)
-	switch st {
-	case sat.Sat:
+	// The throwaway solver still registers with the cancellation registry
+	// for the duration of the query: a cancelled LearnCtx must be able to
+	// interrupt fresh-backend searches too.
+	l.trackSolver(enc.S)
+	defer l.untrackSolver(enc.S)
+
+	st, core, err := l.solveAbduction(enc.S, sels, target)
+	if err != nil {
+		return abductResult{}, err
+	}
+	if st == sat.Sat {
 		return abductResult{ok: false}, nil
-	case sat.Unknown:
-		return abductResult{}, fmt.Errorf("hhoudini: solver gave up on abduction query for %s", target)
 	}
 	if l.opts.MinimizeCores {
 		orderCoreForMinimization(core, func(s sat.Lit) int { return tierOf(bySel[s]) })
+		l.armMinimizeBudget(enc.S)
 		core = enc.S.MinimizeCore(core)
 	}
 	out := make([]Pred, 0, len(core))
@@ -180,12 +292,12 @@ func (l *Learner) abductIncremental(target Pred, cands []Pred, pool *encoderPool
 	// learnt clauses other solvers of the same identity have derived.
 	pool.replayLearnts(pe)
 
-	st, core := pe.enc.S.SolveWithCore(assumps)
-	switch st {
-	case sat.Sat:
+	st, core, err := l.solveAbduction(pe.enc.S, assumps, target)
+	if err != nil {
+		return abductResult{}, err
+	}
+	if st == sat.Sat {
 		return abductResult{ok: false}, nil
-	case sat.Unknown:
-		return abductResult{}, fmt.Errorf("hhoudini: solver gave up on abduction query for %s", target)
 	}
 	if l.opts.MinimizeCores {
 		// cur/¬next may appear in the core; rank them below every
@@ -198,6 +310,7 @@ func (l *Learner) abductIncremental(target Pred, cands []Pred, pool *encoderPool
 			}
 			return -1
 		})
+		l.armMinimizeBudget(pe.enc.S)
 		core = pe.enc.S.MinimizeCore(core)
 	}
 	out := make([]Pred, 0, len(core))

@@ -1,14 +1,19 @@
 package hhoudini
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hhoudini/internal/circuit"
+	"hhoudini/internal/faultinject"
+	"hhoudini/internal/sat"
 )
 
 // Options tune the learner.
@@ -55,6 +60,22 @@ type Options struct {
 	// they never fail the learner. See OpenProofDB for explicit lifecycle
 	// control and CloseProofDBs for the process-exit hook.
 	CacheDir string
+	// InitialSolverConflicts seeds the budget-escalation ladder: every
+	// abduction query's first attempt runs under this many solver conflicts
+	// and each sat.Unknown verdict escalates the budget ×4 (counted by
+	// Stats.QueryRetries) until the query resolves or the ladder tops out
+	// at MaxSolverConflicts. 0 selects the default (2048 conflicts); a
+	// negative value disables the ladder entirely — each query gets a
+	// single attempt bounded only by MaxSolverConflicts — which is the
+	// budget-escalation ablation.
+	InitialSolverConflicts int64
+	// MaxSolverConflicts caps the ladder's per-query budget. 0 means
+	// uncapped: once the next escalation step would exceed ~2M conflicts
+	// the final attempt runs unbounded. With a positive cap, a query still
+	// Unknown at the cap is abandoned with ErrBudgetExceeded (counted by
+	// Stats.QueryBudgetAbandons) — the learner degrades with a typed error
+	// instead of hanging.
+	MaxSolverConflicts int64
 }
 
 // DefaultOptions mirror the paper's configuration (incremental,
@@ -119,6 +140,13 @@ type Stats struct {
 	CacheDiskFlushes int64
 	CacheEntries     int64
 	CacheBytes       int64
+
+	// Budget-escalation counters (Options.InitialSolverConflicts /
+	// MaxSolverConflicts): attempts re-issued with an escalated conflict
+	// budget after a sat.Unknown, and queries abandoned with
+	// ErrBudgetExceeded once the ladder reached its cap.
+	QueryRetries        int64
+	QueryBudgetAbandons int64
 
 	WallTime time.Duration
 
@@ -276,6 +304,12 @@ type Learner struct {
 	init     circuit.Snapshot
 	initEval sync.Map // pred ID → bool
 
+	// stop is the cancellation flag: set once (by LearnCtx's watcher when
+	// the context fires), read on every worker iteration and between
+	// escalation-ladder attempts. It is never cleared — a Learner runs one
+	// Learn, so a stale stop can only make cancellation more prompt.
+	stop atomic.Bool
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	entries map[string]*entry
@@ -283,6 +317,11 @@ type Learner struct {
 	queue   []string
 	active  int
 	err     error
+	// solvers is the registry of live solver instances currently owned by
+	// this learner's workers (pooled or fresh). A cancellation interrupts
+	// every member so in-flight CDCL searches return Unknown within one
+	// interrupt-check interval instead of running to completion.
+	solvers map[*sat.Solver]struct{}
 }
 
 type entry struct {
@@ -307,6 +346,7 @@ func NewLearner(sys *System, mine MineOracle, opts Options) *Learner {
 		init:    circuit.InitSnapshot(sys.Circuit),
 		entries: make(map[string]*entry),
 		failed:  make(map[string]bool),
+		solvers: make(map[*sat.Solver]struct{}),
 	}
 	if l.opts.Workers == 0 {
 		l.opts.Workers = runtime.GOMAXPROCS(0)
@@ -347,11 +387,26 @@ func (l *Learner) FailedPreds() []string {
 
 // Learn runs H-Houdini for the given target predicates (the property P,
 // possibly a conjunction) and returns the inductive invariant proving all
-// of them, or nil if none exists within the predicate language.
+// of them, or nil if none exists within the predicate language. It is
+// LearnCtx under a background (never-cancelled) context.
 func (l *Learner) Learn(targets []Pred) (*Invariant, error) {
+	return l.LearnCtx(context.Background(), targets)
+}
+
+// LearnCtx is Learn under a context: when ctx is cancelled (or its
+// deadline passes), every in-flight solver query is interrupted, the
+// workers drain, pooled solvers are checked back into the cross-run cache,
+// the proof store is flushed — partial progress survives into the next run
+// — and LearnCtx returns ctx.Err() promptly. A learner is single-shot:
+// once cancelled it cannot be reused.
+func (l *Learner) LearnCtx(ctx context.Context, targets []Pred) (*Invariant, error) {
 	start := time.Now()
 	defer func() { l.stats.WallTime += time.Since(start) }()
 	defer l.finishPersist()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// The property must at least hold initially.
 	for _, t := range targets {
@@ -371,6 +426,23 @@ func (l *Learner) Learn(targets []Pred) (*Invariant, error) {
 	}
 	l.mu.Unlock()
 
+	// The watcher translates a context fire into the learner's stop
+	// protocol; the done channel retires it as soon as the workers drain so
+	// no goroutine outlives LearnCtx.
+	done := make(chan struct{})
+	var watcher sync.WaitGroup
+	if ctx.Done() != nil {
+		watcher.Add(1)
+		go func() {
+			defer watcher.Done()
+			select {
+			case <-ctx.Done():
+				l.interrupt()
+			case <-done:
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < l.opts.Workers; w++ {
 		wg.Add(1)
@@ -380,9 +452,18 @@ func (l *Learner) Learn(targets []Pred) (*Invariant, error) {
 		}()
 	}
 	wg.Wait()
+	close(done)
+	watcher.Wait()
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if cerr := ctx.Err(); cerr != nil && (l.err == nil || errors.Is(l.err, errLearnInterrupted)) {
+		// A worker may report the internal interrupt marker before the
+		// watcher records anything (it polls the stop flag directly), or
+		// the run may have finished in the same instant the context fired;
+		// either way the caller sees the context's own error.
+		return nil, cerr
+	}
 	if l.err != nil {
 		return nil, l.err
 	}
@@ -392,6 +473,54 @@ func (l *Learner) Learn(targets []Pred) (*Invariant, error) {
 		}
 	}
 	return l.assembleLocked(targets)
+}
+
+// interrupt initiates the cancellation protocol: flag the stop bit (polled
+// by workers and the escalation ladder), record the interrupt marker so
+// cond-waiting workers exit, and interrupt every live solver so in-flight
+// CDCL searches abort at their next interrupt check. Solver interruption
+// happens outside l.mu — Interrupt is a plain atomic store, but keeping
+// foreign calls out of the critical section is this package's lock
+// discipline (hhlint lockscope).
+func (l *Learner) interrupt() {
+	l.stop.Store(true)
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = errLearnInterrupted
+	}
+	live := make([]*sat.Solver, 0, len(l.solvers))
+	for s := range l.solvers {
+		live = append(live, s)
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	for _, s := range live {
+		s.Interrupt()
+	}
+}
+
+// trackSolver registers a solver entering a worker's ownership (fresh
+// construction or cross-run cache checkout) with the cancellation
+// registry. Any stale interrupt left over from a previous learner's
+// cancellation is cleared first — cached solvers carry their sticky flag
+// across Learn instances — and if this learner has already stopped, the
+// solver is interrupted immediately to close the register/interrupt race.
+func (l *Learner) trackSolver(s *sat.Solver) {
+	s.ClearInterrupt()
+	l.mu.Lock()
+	l.solvers[s] = struct{}{}
+	l.mu.Unlock()
+	if l.stop.Load() {
+		s.Interrupt()
+	}
+}
+
+// untrackSolver removes a solver leaving the worker's ownership (query
+// teardown or pool retirement) from the cancellation registry.
+func (l *Learner) untrackSolver(s *sat.Solver) {
+	l.mu.Lock()
+	delete(l.solvers, s)
+	l.mu.Unlock()
 }
 
 // finishPersist runs at Learn shutdown: it snapshots the cache's durable
@@ -455,13 +584,14 @@ func (l *Learner) holdsAtInit(p Pred) (bool, error) {
 func (l *Learner) worker() {
 	pool := newEncoderPool(l.sys, l.stats)
 	pool.attachCache(l.cache, l.cacheKey)
+	pool.observeSolvers(l.trackSolver, l.untrackSolver)
 	defer pool.retire()
 	for {
 		l.mu.Lock()
-		for len(l.queue) == 0 && l.active > 0 && l.err == nil {
+		for len(l.queue) == 0 && l.active > 0 && l.err == nil && !l.stop.Load() {
 			l.cond.Wait()
 		}
-		if (len(l.queue) == 0 && l.active == 0) || l.err != nil {
+		if (len(l.queue) == 0 && l.active == 0) || l.err != nil || l.stop.Load() {
 			l.cond.Broadcast()
 			l.mu.Unlock()
 			return
@@ -478,7 +608,7 @@ func (l *Learner) worker() {
 		pred := e.pred
 		l.mu.Unlock()
 
-		err := l.solveOne(pred, pool)
+		err := l.runTask(pred, pool)
 
 		l.mu.Lock()
 		l.active--
@@ -490,8 +620,30 @@ func (l *Learner) worker() {
 	}
 }
 
+// runTask executes one task body under the worker's recover boundary
+// (hhlint:panic-boundary): a panic anywhere inside — oracle code,
+// predicate encodings, the solver — becomes a *PanicError carrying the
+// stack, which fails this Learn through the ordinary error path while
+// sibling workers drain cleanly and the process survives. This is the only
+// recover site in the learner; the panicscope lint pass enforces that it
+// stays that way.
+func (l *Learner) runTask(pred Pred, pool *encoderPool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{PredID: pred.ID(), Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if faultinject.Enabled() && faultinject.Fire(faultinject.WorkerPanic) {
+		panic("faultinject: scheduled worker panic")
+	}
+	return l.solveOne(pred, pool)
+}
+
 // solveOne runs one H-Houdini task body: slice, mine, abduct, record.
 func (l *Learner) solveOne(pred Pred, pool *encoderPool) error {
+	if l.stop.Load() {
+		return errLearnInterrupted
+	}
 	taskStart := time.Now()
 	l.mu.Lock()
 	chainIn := l.entries[pred.ID()].chainIn

@@ -90,6 +90,9 @@ func (p *ProofDB) Attach(vc *VerifyCache) {
 
 // Flush merges the durable state of every attached cache into the store and
 // atomically rewrites the file (crash-safe: temp file + fsync + rename).
+// The outcome is also recorded for LastFlushErr, so callers that cannot
+// propagate (Learn's shutdown path, the background loop) still leave the
+// failure observable.
 func (p *ProofDB) Flush() error {
 	p.mu.Lock()
 	caches := append([]*VerifyCache(nil), p.attached...)
@@ -98,7 +101,11 @@ func (p *ProofDB) Flush() error {
 		p.db.Merge(vc.SnapshotData())
 		vc.noteDiskFlush()
 	}
-	return p.db.Flush()
+	err := p.db.Flush()
+	p.mu.Lock()
+	p.flushErr = err
+	p.mu.Unlock()
+	return err
 }
 
 // flushLoop is the optional background flusher: interval flushes until the
@@ -123,9 +130,10 @@ func (p *ProofDB) flushLoop(ctx context.Context, interval time.Duration) {
 	}
 }
 
-// LastFlushErr reports the outcome of the most recent background flush:
-// nil when the flusher is off or the last interval flush succeeded. Close
-// remains the authoritative durability point.
+// LastFlushErr reports the outcome of the most recent Flush — foreground
+// (Learn shutdown, explicit calls) or background — nil when no flush has
+// failed since the last success. Close remains the authoritative
+// durability point.
 func (p *ProofDB) LastFlushErr() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -39,6 +39,14 @@ type encoderPool struct {
 	cache *VerifyCache
 	key   string
 
+	// onSolver/onRetire observe solvers entering and leaving the pool's
+	// ownership (observeSolvers). The learner uses them to maintain its
+	// cancellation registry: every live solver must be interruptible when
+	// the owning LearnCtx is cancelled, and must drop out of the registry
+	// when the pool retires it into the cross-run cache.
+	onSolver func(*sat.Solver)
+	onRetire func(*sat.Solver)
+
 	retired bool
 }
 
@@ -54,6 +62,14 @@ func (pl *encoderPool) attachCache(c *VerifyCache, key string) {
 		return
 	}
 	pl.cache, pl.key = c, key
+}
+
+// observeSolvers installs the ownership observers: onSolver fires for each
+// solver the pool takes ownership of (fresh construction or cache
+// checkout), onRetire for each solver it gives up at retire(). Either may
+// be nil.
+func (pl *encoderPool) observeSolvers(onSolver, onRetire func(*sat.Solver)) {
+	pl.onSolver, pl.onRetire = onSolver, onRetire
 }
 
 // coneKeys memoizes coneKey by predicate ID. Cone membership is a pure
@@ -105,6 +121,9 @@ func (pl *encoderPool) get(target Pred) (*pooledEncoder, bool, error) {
 				atomic.AddInt64(&pl.stats.CacheEncoderHits, 1)
 			}
 			pl.entries[ck] = pe
+			if pl.onSolver != nil {
+				pl.onSolver(pe.enc.S)
+			}
 			return pe, true, nil
 		}
 		if pl.stats != nil {
@@ -124,6 +143,9 @@ func (pl *encoderPool) get(target Pred) (*pooledEncoder, bool, error) {
 		imported: make(map[int]bool),
 	}
 	pl.entries[ck] = pe
+	if pl.onSolver != nil {
+		pl.onSolver(enc.S)
+	}
 	return pe, false, nil
 }
 
@@ -138,8 +160,11 @@ func (pl *encoderPool) retire() {
 		return
 	}
 	pl.retired = true
-	if pl.cache != nil {
-		for ck, pe := range pl.entries {
+	for ck, pe := range pl.entries {
+		if pl.onRetire != nil {
+			pl.onRetire(pe.enc.S)
+		}
+		if pl.cache != nil {
 			pl.cache.checkin(pl.key, ck, pe, pl.stats)
 		}
 	}

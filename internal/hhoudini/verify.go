@@ -7,12 +7,29 @@ import (
 	"hhoudini/internal/sat"
 )
 
+// DefaultAuditConflicts bounds Audit's monolithic consecution query. The
+// audit is exactly the expensive whole-invariant check H-Houdini avoids
+// during learning, so it gets a generous allowance — orders of magnitude
+// above what the evaluated designs need — but no longer runs unbounded: a
+// pathological instance surfaces as ErrBudgetExceeded instead of a hang.
+const DefaultAuditConflicts = 50_000_000
+
 // Audit monolithically verifies a learned invariant against Definition
 // 2.2: initiation, consecution (one SAT query over the conjunction of all
 // predicates — exactly the expensive check H-Houdini avoids during
 // learning, used here as an independent soundness check, as the paper did
-// for the Rocketchip invariant), and property inclusion.
+// for the Rocketchip invariant), and property inclusion. The consecution
+// query runs under DefaultAuditConflicts; use AuditBudget to choose the
+// budget (or lift it).
 func Audit(sys *System, inv *Invariant) error {
+	return AuditBudget(sys, inv, DefaultAuditConflicts)
+}
+
+// AuditBudget is Audit with an explicit conflict budget on the consecution
+// query; conflicts <= 0 solves unbounded. A budget exhaustion returns an
+// error wrapping ErrBudgetExceeded — a resource verdict, not a soundness
+// one: callers may retry with a larger budget.
+func AuditBudget(sys *System, inv *Invariant, conflicts int64) error {
 	// (i) Initiation: every predicate holds in the initial state.
 	init := circuit.InitSnapshot(sys.Circuit)
 	for _, p := range inv.Preds {
@@ -52,11 +69,16 @@ func Audit(sys *System, inv *Invariant) error {
 		negNext = append(negNext, next.Not())
 	}
 	enc.S.AddClause(negNext...)
+	if conflicts > 0 {
+		enc.S.SetConflictBudget(conflicts)
+	} else {
+		enc.S.SetConflictBudget(-1)
+	}
 	switch enc.S.Solve() {
 	case sat.Sat:
 		return fmt.Errorf("hhoudini: consecution fails: invariant is not inductive")
 	case sat.Unknown:
-		return fmt.Errorf("hhoudini: consecution check exceeded solver budget")
+		return fmt.Errorf("hhoudini: consecution check (budget %d conflicts): %w", conflicts, ErrBudgetExceeded)
 	}
 	return nil
 }

@@ -33,6 +33,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"hhoudini/internal/faultinject"
 )
 
 // Defaults for Options.
@@ -520,6 +522,14 @@ func (db *DB) encodeLocked() ([]flushLine, error) {
 // rename over path, fsync the directory (best-effort — some filesystems
 // reject directory fsync; the rename itself is still atomic).
 func atomicWrite(path string, data []byte) error {
+	if faultinject.Enabled() {
+		// Chaos tier: a failed rewrite must leave the previous on-disk
+		// store byte-identical (the injected error fires before the temp
+		// file exists, mirroring an out-of-space or permission failure).
+		if err := faultinject.FireErr(faultinject.ProofDBWrite); err != nil {
+			return err
+		}
+	}
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {

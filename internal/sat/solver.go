@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
+
+	"hhoudini/internal/faultinject"
 )
 
 // Stats aggregates solver counters across Solve calls.
@@ -93,7 +96,18 @@ type Solver struct {
 
 	// MaxConflicts bounds the search effort per Solve call; <0 means
 	// unlimited. When the budget is exhausted Solve returns Unknown.
+	// Note the comparison is against the cumulative Stats.Conflicts
+	// counter: long-lived (pooled) solvers should use SetConflictBudget,
+	// which expresses a budget relative to the work already done.
 	MaxConflicts int64
+
+	// interrupted is the cooperative cancellation flag: Interrupt (callable
+	// from any goroutine — the only concurrency-safe entry point on a
+	// Solver) sets it, and the CDCL search loop polls it once per
+	// decision/conflict iteration, abandoning the Solve call with Unknown.
+	// The flag is sticky across Solve calls until ClearInterrupt, so a
+	// cancellation that lands between two queries still stops the next one.
+	interrupted atomic.Bool
 
 	// releasedSinceGC counts Release calls since the last Simplify; when
 	// it crosses releaseGCThreshold the dead clauses are collected.
@@ -585,12 +599,46 @@ func (s *Solver) locked(cr clauseRef) bool {
 	return s.valueLit(l0) == lTrue && s.reason[l0.Var()] == cr
 }
 
+// Interrupt asks the solver to abandon the current (or next) Solve call at
+// the next interrupt check: the search loop polls the flag once per
+// decision/conflict iteration, so an in-flight query returns Unknown within
+// one such interval. Interrupt is safe to call from any goroutine — it is
+// the one concurrency-safe entry point on a Solver — which is what lets a
+// cancelled Learn stop workers' queries without owning their solvers.
+func (s *Solver) Interrupt() { s.interrupted.Store(true) }
+
+// ClearInterrupt re-arms an interrupted solver for further queries. Pool
+// and cache owners call it when a solver changes hands, so a stale
+// cancellation from a previous owner cannot starve the next one.
+func (s *Solver) ClearInterrupt() { s.interrupted.Store(false) }
+
+// Interrupted reports whether Interrupt has been called since the last
+// ClearInterrupt.
+func (s *Solver) Interrupted() bool { return s.interrupted.Load() }
+
+// SetConflictBudget bounds the *next* search effort to n more conflicts,
+// independent of how many conflicts this solver has already spent: it
+// rebases MaxConflicts on the cumulative Stats.Conflicts counter. n < 0
+// removes the bound. This is the per-query budget primitive behind the
+// learner's Unknown-escalation ladder; pooled solvers must use it instead
+// of assigning MaxConflicts directly.
+func (s *Solver) SetConflictBudget(n int64) {
+	if n < 0 {
+		s.MaxConflicts = -1
+		return
+	}
+	s.MaxConflicts = s.Stats.Conflicts + n
+}
+
 // search runs CDCL until a model is found, the formula is refuted, the
-// restart budget (nofConflicts) is exhausted, or the global conflict budget
-// runs out.
+// restart budget (nofConflicts) is exhausted, the global conflict budget
+// runs out, or the solver is interrupted.
 func (s *Solver) search(nofConflicts int64) Status {
 	conflictC := int64(0)
 	for {
+		if s.interrupted.Load() {
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != crUndef {
 			s.Stats.Conflicts++
@@ -676,6 +724,11 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
+	// Chaos hook: a forced Unknown models "the solver gave up" without
+	// burning search effort. One atomic load when the harness is disarmed.
+	if faultinject.Enabled() && faultinject.Fire(faultinject.SolverUnknown) {
+		return Unknown
+	}
 	for _, a := range assumptions {
 		s.ensureVar(a.Var())
 	}
@@ -691,6 +744,11 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		budget := int64(luby(2.0, restart) * restartFirst)
 		status = s.search(budget)
 		s.Stats.Restarts++
+		if status == Unknown && s.interrupted.Load() {
+			// A cancelled query stays Unknown: do not restart. A Sat/Unsat
+			// verdict that raced the interrupt is still valid and kept.
+			break
+		}
 		if s.MaxConflicts >= 0 && s.Stats.Conflicts >= s.MaxConflicts && status == Unknown {
 			break
 		}

@@ -1,6 +1,7 @@
 package veloct
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -187,8 +188,17 @@ func (g *exampleGen) step(sim *circuit.Sim, word uint64) (circuit.Snapshot, erro
 // safe instruction. Each run optionally executes the dirty preamble, then
 // the instruction under analysis, NOP-padded; product states from the
 // instruction's in-flight window become (masked) examples. A property
-// violation during any run aborts with ErrUnsafe.
+// violation during any run aborts with ErrUnsafe. It is GenerateCtx under
+// a background (never-cancelled) context.
 func (g *exampleGen) Generate(safe []string) ([]circuit.Snapshot, error) {
+	return g.GenerateCtx(context.Background(), safe)
+}
+
+// GenerateCtx is Generate under a context: cancellation is observed
+// between simulation runs (each run is short — one instruction window plus
+// padding — so a fired context aborts generation promptly) and surfaces as
+// ctx.Err().
+func (g *exampleGen) GenerateCtx(ctx context.Context, safe []string) ([]circuit.Snapshot, error) {
 	pad := g.tgt.MaxLatency
 	var out []circuit.Snapshot
 
@@ -227,6 +237,9 @@ func (g *exampleGen) Generate(safe []string) ([]circuit.Snapshot, error) {
 	}
 
 	for _, run := range runs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		runName := run.mns[0]
 		if runName == "" {
 			runName = "<nop>"

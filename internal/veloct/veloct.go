@@ -1,6 +1,7 @@
 package veloct
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -122,14 +123,26 @@ func (a *Analysis) Targets() []hhoudini.Pred {
 
 // BuildMiner generates examples and constructs the mining oracle for a
 // proposed safe set. Exposed separately for the baseline comparison, which
-// wants the same predicate universe.
+// wants the same predicate universe. It is BuildMinerCtx under a
+// background (never-cancelled) context.
 func (a *Analysis) BuildMiner(safe []string) (*Miner, []circuit.Snapshot, error) {
+	return a.BuildMinerCtx(context.Background(), safe)
+}
+
+// BuildMinerCtx is BuildMiner under a context: example generation observes
+// cancellation between simulation runs, so an analysis cancelled during
+// its (potentially long) setup phase aborts promptly with ctx.Err()
+// instead of only noticing once learning starts.
+func (a *Analysis) BuildMinerCtx(ctx context.Context, safe []string) (*Miner, []circuit.Snapshot, error) {
 	gen, err := newExampleGen(a.Target, a.Product, a.Opts.Examples)
 	if err != nil {
 		return nil, nil, err
 	}
-	examples, err := gen.Generate(safe)
+	examples, err := gen.GenerateCtx(ctx, safe)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	var rules []design.UopRule
@@ -141,10 +154,19 @@ func (a *Analysis) BuildMiner(safe []string) (*Miner, []circuit.Snapshot, error)
 
 // Verify attempts to prove the proposed safe set: it generates examples,
 // mines predicates, and runs H-Houdini for Eq over every observable. A nil
-// Invariant in the result means None.
+// Invariant in the result means None. It is VerifyCtx under a background
+// (never-cancelled) context.
 func (a *Analysis) Verify(safe []string) (*Result, error) {
+	return a.VerifyCtx(context.Background(), safe)
+}
+
+// VerifyCtx is Verify under a context: cancellation interrupts the
+// in-flight learning run (in-progress solver queries abort at their next
+// interrupt check, pooled solvers are checked back into the cross-run
+// cache, and any bound proof store is flushed) and returns ctx.Err().
+func (a *Analysis) VerifyCtx(ctx context.Context, safe []string) (*Result, error) {
 	res := &Result{Safe: append([]string(nil), safe...)}
-	miner, examples, err := a.BuildMiner(safe)
+	miner, examples, err := a.BuildMinerCtx(ctx, safe)
 	if err != nil {
 		if unsafe, ok := err.(ErrUnsafe); ok {
 			res.Reason = unsafe.Error()
@@ -156,7 +178,7 @@ func (a *Analysis) Verify(safe []string) (*Result, error) {
 
 	sys := a.System(safe)
 	learner := hhoudini.NewLearner(sys, miner, a.Opts.Learner)
-	inv, err := learner.Learn(a.Targets())
+	inv, err := learner.LearnCtx(ctx, a.Targets())
 	if err != nil {
 		return nil, err
 	}
@@ -262,8 +284,16 @@ type Synthesis struct {
 // instructions by differential simulation (concrete unsafety witnesses),
 // verifies the surviving set with H-Houdini, and shrinks further if
 // verification fails to attribute the failure. The returned synthesis
-// carries the proving invariant.
+// carries the proving invariant. It is SynthesizeCtx under a background
+// (never-cancelled) context.
 func (a *Analysis) Synthesize() (*Synthesis, error) {
+	return a.SynthesizeCtx(context.Background())
+}
+
+// SynthesizeCtx is Synthesize under a context: each verification round
+// runs under ctx, so cancellation interrupts the in-flight learning run
+// and returns ctx.Err() between (or inside) rounds.
+func (a *Analysis) SynthesizeCtx(ctx context.Context) (*Synthesis, error) {
 	syn := &Synthesis{}
 	inCand := make(map[string]bool)
 	for _, mn := range a.Target.CandidateSafe {
@@ -295,7 +325,7 @@ func (a *Analysis) Synthesize() (*Synthesis, error) {
 		if attempts > len(a.Target.CandidateSafe) {
 			return nil, fmt.Errorf("veloct: synthesis failed to converge")
 		}
-		res, err := a.Verify(safe)
+		res, err := a.VerifyCtx(ctx, safe)
 		if err != nil {
 			return nil, err
 		}
@@ -310,7 +340,7 @@ func (a *Analysis) Synthesize() (*Synthesis, error) {
 			syn.Result = res
 			return syn, nil
 		}
-		victim, rest, err := a.attribute(safe)
+		victim, rest, err := a.attribute(ctx, safe)
 		if err != nil {
 			return nil, err
 		}
@@ -322,9 +352,9 @@ func (a *Analysis) Synthesize() (*Synthesis, error) {
 // attribute picks the instruction to drop when a set fails verification:
 // the first instruction whose singleton set also fails, or failing that
 // the last instruction.
-func (a *Analysis) attribute(safe []string) (victim string, rest []string, err error) {
+func (a *Analysis) attribute(ctx context.Context, safe []string) (victim string, rest []string, err error) {
 	for i, mn := range safe {
-		res, err := a.Verify([]string{mn})
+		res, err := a.VerifyCtx(ctx, []string{mn})
 		if err != nil {
 			return "", nil, err
 		}

@@ -1,0 +1,89 @@
+package hhoudini_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	hh "hhoudini"
+)
+
+// robustness_api_test.go is the cross-layer acceptance test of the
+// robustness story (`make chaos` tier): cancelling a VerifyCtx over a real
+// out-of-order design must return context.Canceled promptly, leak no
+// goroutines, and leave a flushed, reloadable proof store — so the next
+// invocation warm-starts from the partial progress instead of redoing it.
+
+func TestChaosCancelVerifyOoO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verifies a full OoO design; skipped in -short mode")
+	}
+	before := runtime.NumGoroutine()
+	dir := t.TempDir()
+	safe := []string{"add", "sub", "and", "or", "xor"}
+
+	newAnalysis := func() *hh.Analysis {
+		tgt, err := hh.NewOoO(hh.SmallOoO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := hh.DefaultAnalysisOptions()
+		opts.Learner.Workers = 4
+		opts.Learner.CacheDir = dir
+		a, err := hh.NewAnalysis(tgt, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	// Cancel mid-verification. An uncancelled SmallOoO run takes on the
+	// order of a second; a cancel at 50ms must come back far sooner than
+	// finishing the run would.
+	a := newAnalysis()
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(50*time.Millisecond, cancel)
+	defer timer.Stop()
+	start := time.Now()
+	res, err := a.VerifyCtx(ctx, safe)
+	elapsed := time.Since(start)
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v (res=%v), want context.Canceled", err, res)
+	}
+	t.Logf("cancelled VerifyCtx returned after %v", elapsed)
+	if elapsed > 3*time.Second {
+		t.Fatalf("cancelled VerifyCtx took %v to return", elapsed)
+	}
+	if err := hh.CloseProofDBs(); err != nil {
+		t.Fatalf("close after cancel: %v", err)
+	}
+
+	// The flushed store must be reloadable: a fresh analysis over the same
+	// cache dir completes the verification the cancelled run abandoned.
+	a2 := newAnalysis()
+	res2, err := a2.VerifyCtx(context.Background(), safe)
+	if err != nil {
+		t.Fatalf("post-cancel verify: %v", err)
+	}
+	if res2.Invariant == nil {
+		t.Fatalf("post-cancel verify found no invariant: %s", res2.Reason)
+	}
+	if err := a2.Audit(res2); err != nil {
+		t.Fatal(err)
+	}
+	if err := hh.CloseProofDBs(); err != nil {
+		t.Fatalf("final close: %v", err)
+	}
+
+	// No goroutines may outlive the cancelled run.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
