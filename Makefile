@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build lint test race race-proofdb chaos bench-smoke bench bench-json bench-persist ci
+.PHONY: all vet build lint test race race-proofdb chaos bench-smoke bench bench-json bench-persist bench-sat ci
 
 all: build
 
@@ -67,4 +67,13 @@ bench-persist:
 	$(GO) run ./cmd/benchjson -persist -design execstage -runs 3 -out BENCH_proofdb.json
 	$(GO) run ./cmd/benchjson -check BENCH_proofdb.json
 
-ci: vet build lint race race-proofdb chaos bench-smoke bench-json bench-persist
+# Emit and self-check the SAT-core benchmark document: the propagate-heavy
+# workload family (BenchmarkSat* in internal/sat) against the recorded
+# pre-arena seed timings, plus the clause-sharing ablation
+# (BenchmarkAblationClauseShare's configuration). The check enforces the
+# >=20% propagation bound and sharing's conflict reduction.
+bench-sat:
+	$(GO) run ./cmd/benchjson -sat -out BENCH_sat.json
+	$(GO) run ./cmd/benchjson -check BENCH_sat.json
+
+ci: vet build lint race race-proofdb chaos bench-smoke bench-json bench-persist bench-sat

@@ -387,6 +387,35 @@ func BenchmarkAblationMemoization(b *testing.B) {
 	})
 }
 
+// BenchmarkAblationClauseShare compares multi-worker learning with and
+// without the lock-free mid-run clause exchange (LearnerOptions.ShareClauses):
+// workers publish their hottest learnt clauses into per-worker rings and
+// drain siblings' rings at solver restart boundaries, so a lemma derived in
+// one worker's abduction query prunes the others' searches while they run.
+// The headline metric is total CDCL conflicts across all solvers
+// (Stats.SolverConflicts): sharing buys its wall-time back by making sibling
+// searches shorter. The weak-example regime drives enough backtracking (and
+// thus enough concurrent solver work) for the exchange to have lemmas worth
+// moving.
+func BenchmarkAblationClauseShare(b *testing.B) {
+	tgt := mustOoO(b, hh.SmallOoO)
+	for _, share := range []bool{true, false} {
+		b.Run(fmt.Sprintf("share=%v", share), func(b *testing.B) {
+			opts := benchOpts()
+			opts.Learner.Workers = 4
+			opts.Learner.ShareClauses = share
+			opts.Examples.RunsPerInstr = 1
+			opts.Examples.CompositionRuns = 0
+			for i := 0; i < b.N; i++ {
+				res := mustVerify(b, tgt, oooSafe(), opts)
+				b.ReportMetric(float64(res.Stats.SolverConflicts), "conflicts")
+				b.ReportMetric(float64(res.Stats.ShareExported), "exported")
+				b.ReportMetric(float64(res.Stats.ShareImported), "imported")
+			}
+		})
+	}
+}
+
 // BenchmarkSATSolver measures the raw decision-procedure substrate on a
 // pigeonhole instance (pure solver throughput).
 func BenchmarkSATSolver(b *testing.B) {

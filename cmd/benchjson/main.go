@@ -12,8 +12,15 @@
 // "process" restores from the same directory — measuring how much of the
 // verification a brand-new process answers from persisted memos.
 //
+// SAT mode (-sat, BENCH_sat.json): raw solver throughput on the
+// propagate-heavy workload family from internal/sat's benchmarks, each row
+// compared against the recorded pre-arena seed timing, plus the
+// clause-sharing ablation (multi-worker verification with the mid-run
+// exchange on vs off, compared on total CDCL conflicts).
+//
 //	benchjson -design execstage -runs 3 -out BENCH_crossrun.json
 //	benchjson -persist -design execstage -runs 2 -out BENCH_proofdb.json
+//	benchjson -sat -out BENCH_sat.json
 //	benchjson -check BENCH_crossrun.json
 package main
 
@@ -39,6 +46,7 @@ var (
 	flagRuns    = flag.Int("runs", 3, "timed verifications per configuration")
 	flagOut     = flag.String("out", "BENCH_crossrun.json", "output path (\"-\" = stdout)")
 	flagPersist = flag.Bool("persist", false, "measure the persistent proof store (warm process restored from disk) instead of the in-memory cache")
+	flagSat     = flag.Bool("sat", false, "measure raw SAT-core throughput against the recorded pre-arena seed, plus the clause-sharing ablation")
 	flagCheck   = flag.String("check", "", "validate an existing bench JSON file and exit")
 )
 
@@ -86,12 +94,18 @@ func main() {
 		return
 	}
 	var rep any
-	if *flagPersist {
+	switch {
+	case *flagPersist:
 		if !outSet() && *flagOut == "BENCH_crossrun.json" {
 			*flagOut = "BENCH_proofdb.json"
 		}
 		rep = runPersist()
-	} else {
+	case *flagSat:
+		if !outSet() && *flagOut == "BENCH_crossrun.json" {
+			*flagOut = "BENCH_sat.json"
+		}
+		rep = runSat()
+	default:
 		rep = run()
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
@@ -113,6 +127,9 @@ func main() {
 	case *persistReport:
 		fmt.Printf("benchjson: %s: wall -%.1f%%, disk hit rate %.1f%% (warm process vs cold, %d runs)\n",
 			*flagOut, r.WallReductionPct, r.DiskHitRatePct, r.Runs)
+	case *satReport:
+		fmt.Printf("benchjson: %s: propagate-heavy best +%.1f%% vs seed, sharing conflicts -%.1f%%\n",
+			*flagOut, maxImprov(r.Rows), r.Ablation.ConflictRedPct)
 	}
 }
 
@@ -338,6 +355,10 @@ func check(path string) {
 	}
 	if probe.Schema == persistSchema {
 		checkPersist(path, raw, fail)
+		return
+	}
+	if probe.Schema == satSchema {
+		checkSat(path, raw, fail)
 		return
 	}
 	var rep report

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	hh "hhoudini"
+	"hhoudini/internal/sat"
+)
+
+// -sat mode (BENCH_sat.json): raw solver throughput on the propagate-heavy
+// workload family plus the clause-sharing ablation. The workloads come from
+// sat.BenchWorkloads (shared with the in-package BenchmarkSat* benchmarks
+// and cmd/experiments); each carries the ns/op recorded on this hardware
+// class before the flat-arena rebuild, so improvement_pct is "arena vs
+// pre-arena", the headline the perf work is accountable to.
+
+const satSchema = "hhoudini-bench-sat/v1"
+
+// satRow is one workload measurement.
+type satRow struct {
+	Name      string  `json:"name"`
+	NsOp      float64 `json:"ns_op"`
+	AllocsOp  int64   `json:"allocs_op"`
+	BytesOp   int64   `json:"bytes_op"`
+	SeedNsOp  float64 `json:"seed_ns_op"`
+	ImprovPct float64 `json:"improvement_pct"`
+	// PropagateHeavy marks the rows the >=20% acceptance bound applies to;
+	// the conflict-heavy rows (PHP, random 3SAT) ride along informationally.
+	PropagateHeavy bool `json:"propagate_heavy"`
+}
+
+// satAblation is the clause-sharing ablation row: one multi-worker OoO
+// verification with the mid-run exchange on and one with it off, compared
+// on total CDCL conflicts across all solvers.
+type satAblation struct {
+	Design            string  `json:"design"`
+	Workers           int     `json:"workers"`
+	ShareOnWallMs     float64 `json:"share_on_wall_ms"`
+	ShareOffWallMs    float64 `json:"share_off_wall_ms"`
+	ShareOnConflicts  int64   `json:"share_on_conflicts"`
+	ShareOffConflicts int64   `json:"share_off_conflicts"`
+	Exported          int64   `json:"exported"`
+	Imported          int64   `json:"imported"`
+	ConflictRedPct    float64 `json:"conflict_reduction_pct"`
+}
+
+type satReport struct {
+	Schema   string      `json:"schema"`
+	Rows     []satRow    `json:"rows"`
+	Ablation satAblation `json:"ablation"`
+}
+
+func runSat() *satReport {
+	rep := &satReport{Schema: satSchema}
+	for _, w := range sat.BenchWorkloads() {
+		op := w.New()
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := op(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ns := float64(r.NsPerOp())
+		rep.Rows = append(rep.Rows, satRow{
+			Name:           w.Name,
+			NsOp:           ns,
+			AllocsOp:       r.AllocsPerOp(),
+			BytesOp:        r.AllocedBytesPerOp(),
+			SeedNsOp:       w.SeedNsOp,
+			ImprovPct:      reduction(w.SeedNsOp, ns),
+			PropagateHeavy: w.PropagateHeavy,
+		})
+	}
+	rep.Ablation = runSatAblation()
+	return rep
+}
+
+// runSatAblation runs the multi-worker OoO verification once per sharing
+// setting — the same configuration as BenchmarkAblationClauseShare (root
+// bench_test.go), in weak-example regime so the abduction queries conflict
+// enough to have lemmas worth exchanging.
+func runSatAblation() satAblation {
+	tgt := buildDesign("small")
+	safe := defaultSafe("small")
+	ab := satAblation{Design: tgt.Name, Workers: 4}
+	for _, share := range []bool{true, false} {
+		opts := hh.DefaultAnalysisOptions()
+		opts.Learner.CrossRunCache = false
+		opts.Learner.Workers = ab.Workers
+		opts.Learner.ShareClauses = share
+		opts.Examples.RunsPerInstr = 1
+		opts.Examples.CompositionRuns = 0
+		a, err := hh.NewAnalysis(tgt, opts)
+		if err != nil {
+			die(err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := a.Verify(safe)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Invariant == nil {
+					b.Fatalf("%s: verification failed: %s", tgt.Name, res.Reason)
+				}
+				if share {
+					ab.ShareOnConflicts = res.Stats.SolverConflicts
+					ab.Exported = res.Stats.ShareExported
+					ab.Imported = res.Stats.ShareImported
+				} else {
+					ab.ShareOffConflicts = res.Stats.SolverConflicts
+				}
+			}
+		})
+		ms := float64(r.NsPerOp()) / 1e6
+		if share {
+			ab.ShareOnWallMs = ms
+		} else {
+			ab.ShareOffWallMs = ms
+		}
+	}
+	ab.ConflictRedPct = reduction(float64(ab.ShareOffConflicts), float64(ab.ShareOnConflicts))
+	return ab
+}
+
+// checkSat validates a -sat emission: the propagate-heavy rows must clear
+// the 20% improvement bound over the recorded pre-arena seed, and the
+// sharing ablation must show fewer total conflicts than sharing-off.
+func checkSat(path string, raw []byte, fail func(string, ...any)) {
+	var rep satReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		die(fmt.Errorf("%s: %w", path, err))
+	}
+	if len(rep.Rows) == 0 {
+		fail("no workload rows")
+	}
+	for _, r := range rep.Rows {
+		if r.NsOp <= 0 {
+			fail("%s: ns_op = %g", r.Name, r.NsOp)
+		}
+		if r.SeedNsOp <= 0 {
+			fail("%s: seed_ns_op = %g", r.Name, r.SeedNsOp)
+		}
+		if r.PropagateHeavy && r.ImprovPct < 20 {
+			fail("%s: improvement %.1f%% over seed, want >= 20%%", r.Name, r.ImprovPct)
+		}
+	}
+	ab := rep.Ablation
+	if ab.ShareOnConflicts <= 0 || ab.ShareOffConflicts <= 0 {
+		fail("ablation conflicts not recorded: on=%d off=%d", ab.ShareOnConflicts, ab.ShareOffConflicts)
+	}
+	if ab.ShareOnConflicts >= ab.ShareOffConflicts {
+		fail("clause sharing did not reduce conflicts: on=%d off=%d", ab.ShareOnConflicts, ab.ShareOffConflicts)
+	}
+	if ab.Exported <= 0 || ab.Imported <= 0 {
+		fail("exchange idle: exported=%d imported=%d", ab.Exported, ab.Imported)
+	}
+	fmt.Printf("benchjson: %s OK (propagate-heavy best +%.1f%%, sharing conflicts -%.1f%%)\n",
+		path, maxImprov(rep.Rows), ab.ConflictRedPct)
+}
+
+func maxImprov(rows []satRow) float64 {
+	best := 0.0
+	for _, r := range rows {
+		if r.PropagateHeavy && r.ImprovPct > best {
+			best = r.ImprovPct
+		}
+	}
+	return best
+}

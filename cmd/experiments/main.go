@@ -11,9 +11,14 @@
 //	experiments -audit      monolithic re-verification of learned invariants
 //	experiments -ablations  design-choice ablations (cores, staging, masking,
 //	                        annotations, example richness)
+//	experiments -satcore    SAT-core ablations (arena vs. recorded seed,
+//	                        clause sharing on/off, LBD vs. activity reduction)
 //	experiments -all        everything above
 //
-// Use -quick to restrict the sweeps to the smaller design variants.
+// Use -quick to restrict the sweeps to the smaller design variants,
+// -deterministic to disable mid-run clause sharing (the one intentionally
+// timing-dependent optimization), and -cpuprofile/-memprofile to capture
+// pprof profiles of a sweep.
 package main
 
 import (
@@ -23,8 +28,10 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -48,18 +55,69 @@ var (
 	flagAudit     = flag.Bool("audit", false, "monolithic audit of learned invariants")
 	flagAblations = flag.Bool("ablations", false, "design-choice ablations")
 	flagCrossRun  = flag.Bool("crossrun", false, "cross-run cache sweep: repeated verification cold vs. warm")
+	flagSatCore   = flag.Bool("satcore", false, "SAT-core ablations: arena vs recorded seed, clause sharing on/off, LBD vs activity reduction")
 	flagAll       = flag.Bool("all", false, "run everything")
 	flagQuick     = flag.Bool("quick", false, "restrict sweeps to small variants")
+	flagDeterm    = flag.Bool("deterministic", false, "disable timing-dependent optimizations (mid-run clause sharing) for reproducible runs")
+	flagCPUProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	flagMemProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 )
+
+// defaultOpts is hh.DefaultAnalysisOptions with the -deterministic override
+// applied; every sweep builds its options through it.
+func defaultOpts() hh.AnalysisOptions {
+	o := hh.DefaultAnalysisOptions()
+	if *flagDeterm {
+		o.Learner.ShareClauses = false
+	}
+	return o
+}
+
+// startProfiles begins CPU profiling when -cpuprofile is set; stopProfiles
+// — called on every exit path — stops it and writes the -memprofile heap
+// snapshot.
+func startProfiles() {
+	if *flagCPUProf == "" {
+		return
+	}
+	f, err := os.Create(*flagCPUProf)
+	if err != nil {
+		die(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		die(err)
+	}
+}
+
+var stopProfiles = sync.OnceFunc(func() {
+	if *flagCPUProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if *flagMemProf != "" {
+		f, err := os.Create(*flagMemProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize the final live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+		}
+	}
+})
 
 func main() {
 	flag.Parse()
 	any := *flagTable1 || *flagTable2 || *flagFig2 || *flagFig3 || *flagFig4 ||
-		*flagFig5 || *flagSpeedup || *flagAudit || *flagAblations || *flagCrossRun || *flagAll
+		*flagFig5 || *flagSpeedup || *flagAudit || *flagAblations || *flagCrossRun ||
+		*flagSatCore || *flagAll
 	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
+	startProfiles()
+	defer stopProfiles()
 	var cancel context.CancelFunc
 	runCtx, cancel = context.WithCancel(runCtx)
 	defer cancel()
@@ -104,6 +162,9 @@ func main() {
 	if *flagAll || *flagCrossRun {
 		crossrun()
 	}
+	if *flagAll || *flagSatCore {
+		satcore()
+	}
 }
 
 func die(err error) {
@@ -114,6 +175,7 @@ func die(err error) {
 	if cerr := hh.CloseProofDBs(); cerr != nil {
 		fmt.Fprintln(os.Stderr, "experiments: proof store close:", cerr)
 	}
+	stopProfiles()
 	os.Exit(1)
 }
 
@@ -183,7 +245,7 @@ func table1() {
 	header("Table 1: evaluated designs and invariant sizes")
 	fmt.Printf("%-12s %14s %16s\n", "Target", "Size (# bits)", "Invariant Size")
 	for _, t := range evalTargets(*flagQuick) {
-		_, res := verify(t, hh.DefaultAnalysisOptions())
+		_, res := verify(t, defaultOpts())
 		fmt.Printf("%-12s %14d %16d\n", t.Name, t.Circuit.NumStateBits(), res.Invariant.Size())
 	}
 }
@@ -192,7 +254,7 @@ func table1() {
 func table2() {
 	header("Table 2: safe instruction sets synthesized by VeloCT")
 	for _, t := range evalTargets(*flagQuick) {
-		a, err := hh.NewAnalysis(t, hh.DefaultAnalysisOptions())
+		a, err := hh.NewAnalysis(t, defaultOpts())
 		if err != nil {
 			die(err)
 		}
@@ -228,7 +290,7 @@ func fig2() {
 		fmt.Printf("%-12s", t.Name)
 		var serial *hh.Result
 		for _, w := range workerCounts {
-			opts := hh.DefaultAnalysisOptions()
+			opts := defaultOpts()
 			opts.Learner.Workers = w
 			start := time.Now()
 			_, res := verify(t, opts)
@@ -254,7 +316,7 @@ func fig3() {
 	fmt.Printf("%-12s %12s %14s %14s\n", "Target", "Size (bits)",
 		fmt.Sprintf("w=%d", fixed), "w=inf (span)")
 	for _, t := range evalTargets(*flagQuick) {
-		optsF := hh.DefaultAnalysisOptions()
+		optsF := defaultOpts()
 		optsF.Learner.Workers = fixed
 		start := time.Now()
 		_, res := verify(t, optsF)
@@ -271,7 +333,7 @@ func fig4() {
 	fmt.Printf("%-12s %12s %16s %16s %12s %12s\n",
 		"Target", "Size (bits)", "Median query", "Median task", "p95 task", "p99 task")
 	for _, t := range evalTargets(*flagQuick) {
-		_, res := verify(t, hh.DefaultAnalysisOptions())
+		_, res := verify(t, defaultOpts())
 		fmt.Printf("%-12s %12d %16v %16v %12v %12v\n",
 			t.Name, t.Circuit.NumStateBits(),
 			res.Stats.MedianQueryTime().Round(time.Microsecond),
@@ -286,7 +348,7 @@ func fig5() {
 	header("Figure 5: tasks and backtracks vs. design size")
 	fmt.Printf("%-12s %12s %10s %12s\n", "Target", "Size (bits)", "Tasks", "Backtracks")
 	for _, t := range evalTargets(*flagQuick) {
-		_, res := verify(t, hh.DefaultAnalysisOptions())
+		_, res := verify(t, defaultOpts())
 		fmt.Printf("%-12s %12d %10d %12d\n",
 			t.Name, t.Circuit.NumStateBits(), res.Stats.Tasks, res.Stats.Backtracks)
 	}
@@ -302,7 +364,7 @@ func speedup() {
 	fmt.Printf("%-12s %10s %12s %12s %12s %10s %10s\n",
 		"Target", "Universe", "H-Houdini", "Houdini", "Sorcar", "H rounds", "S rounds")
 	for _, t := range evalTargets(*flagQuick) {
-		opts := hh.DefaultAnalysisOptions()
+		opts := defaultOpts()
 		opts.Examples.RunsPerInstr = 1
 		opts.Examples.CompositionRuns = 0
 		opts.Learner.Cache = hh.NewVerifyCache() // cold per run; see verify()
@@ -358,7 +420,7 @@ func speedup() {
 func audit() {
 	header("Audit: monolithic verification of learned invariants")
 	for _, t := range evalTargets(*flagQuick) {
-		a, res := verify(t, hh.DefaultAnalysisOptions())
+		a, res := verify(t, defaultOpts())
 		start := time.Now()
 		if err := a.Audit(res); err != nil {
 			die(fmt.Errorf("%s: %v", t.Name, err))
@@ -417,21 +479,21 @@ func ablations() {
 			name, status, time.Since(start).Seconds(), size, tasks, backtracks, solvers, encClauses, extra)
 	}
 
-	run("default", hh.DefaultAnalysisOptions())
+	run("default", defaultOpts())
 
-	o := hh.DefaultAnalysisOptions()
+	o := defaultOpts()
 	o.Learner.MinimizeCores = false
 	run("no core minimization", o)
 
-	o = hh.DefaultAnalysisOptions()
+	o = defaultOpts()
 	o.Learner.StagedMining = true
 	run("staged (incremental) mining", o)
 
-	o = hh.DefaultAnalysisOptions()
+	o = defaultOpts()
 	o.Learner.IncrementalSolver = false
 	run("fresh solver per query (no pooling)", o)
 
-	o = hh.DefaultAnalysisOptions()
+	o = defaultOpts()
 	o.Learner.CrossRunCache = false
 	run("no cross-run cache (cold run)", o)
 
@@ -440,17 +502,17 @@ func ablations() {
 	// row output), against the disabled-ladder single-unbounded-attempt
 	// configuration. The invariant must be identical either way — escalation
 	// trades extra bounded probes for never hanging on a hard query.
-	o = hh.DefaultAnalysisOptions()
+	o = defaultOpts()
 	o.Learner.InitialSolverConflicts = 1
 	run("budget escalation (1-conflict rung)", o)
 
-	o = hh.DefaultAnalysisOptions()
+	o = defaultOpts()
 	o.Learner.InitialSolverConflicts = -1
 	run("no budget escalation (unbounded)", o)
 
 	// Warm cross-run cache: verify once into a private cache, then measure a
 	// second, fully warmed verification of the same system.
-	o = hh.DefaultAnalysisOptions()
+	o = defaultOpts()
 	o.Learner.Cache = hh.NewVerifyCache()
 	{
 		a, err := hh.NewAnalysis(tgt, o)
@@ -468,13 +530,13 @@ func ablations() {
 	// instances on both rows make the second a faithful model of a new
 	// process whose only warmth is what proofdb restored from disk.
 	if dir, err := os.MkdirTemp("", "hh-proofdb-*"); err == nil {
-		o = hh.DefaultAnalysisOptions()
+		o = defaultOpts()
 		o.Learner.Cache = hh.NewVerifyCache()
 		o.Learner.CacheDir = dir
 		run("proofdb cold process (empty store)", o)
 		hh.CloseProofDBs() // simulate process exit: final flush, drop state
 
-		o = hh.DefaultAnalysisOptions()
+		o = defaultOpts()
 		o.Learner.Cache = hh.NewVerifyCache()
 		o.Learner.CacheDir = dir
 		run("proofdb warm process (restored)", o)
@@ -482,20 +544,20 @@ func ablations() {
 		os.RemoveAll(dir)
 	}
 
-	o = hh.DefaultAnalysisOptions()
+	o = defaultOpts()
 	o.Examples.RunsPerInstr = 1
 	o.Examples.CompositionRuns = 0
 	run("weak examples (no compositions)", o)
 
-	o = hh.DefaultAnalysisOptions()
+	o = defaultOpts()
 	o.Examples.DisableMasking = true
 	run("no example masking", o)
 
-	o = hh.DefaultAnalysisOptions()
+	o = defaultOpts()
 	o.DisableAnnotations = true
 	run("no expert annotations", o)
 
-	o = hh.DefaultAnalysisOptions()
+	o = defaultOpts()
 	o.Learner.Workers = runtime.GOMAXPROCS(0)
 	run(fmt.Sprintf("parallel (workers=%d)", runtime.GOMAXPROCS(0)), o)
 }
@@ -518,7 +580,7 @@ func crossrun() {
 	for _, t := range targets {
 		safe := safeSetFor(t)
 
-		coldOpts := hh.DefaultAnalysisOptions()
+		coldOpts := defaultOpts()
 		coldOpts.Learner.CrossRunCache = false
 		aCold, err := hh.NewAnalysis(t, coldOpts)
 		if err != nil {
@@ -539,7 +601,7 @@ func crossrun() {
 			coldClauses += res.Stats.EncodedClauses
 		}
 
-		warmOpts := hh.DefaultAnalysisOptions()
+		warmOpts := defaultOpts()
 		warmOpts.Learner.Cache = hh.NewVerifyCache()
 		aWarm, err := hh.NewAnalysis(t, warmOpts)
 		if err != nil {

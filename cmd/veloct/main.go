@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -43,7 +45,44 @@ var (
 	flagCert       = flag.String("cert", "", "write a btor2 certificate of the learned invariant to this file")
 	flagVCD        = flag.String("vcd", "", "with -btor2: write the first counterexample trace as a VCD waveform to this file")
 	flagTimeout    = flag.Duration("timeout", 0, "overall deadline for the analysis (0 = none); on expiry the in-flight learning run is cancelled")
+	flagDeterm     = flag.Bool("deterministic", false, "disable timing-dependent optimizations (mid-run clause sharing) for reproducible runs")
+	flagCPUProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	flagMemProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 )
+
+// startProfiles begins CPU profiling when -cpuprofile is set. stopProfiles
+// — called on every exit path alongside shutdown() — stops it and writes
+// the -memprofile heap snapshot.
+func startProfiles() {
+	if *flagCPUProf == "" {
+		return
+	}
+	f, err := os.Create(*flagCPUProf)
+	if err != nil {
+		die(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		die(err)
+	}
+}
+
+var stopProfiles = sync.OnceFunc(func() {
+	if *flagCPUProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if *flagMemProf != "" {
+		f, err := os.Create(*flagMemProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "veloct: memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize the final live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "veloct: memprofile:", err)
+		}
+	}
+})
 
 // shutdown flushes and closes the persistent proof stores exactly once.
 // Every exit path — normal return, die(), the verify None path and the
@@ -86,6 +125,8 @@ func analysisContext() (context.Context, context.CancelFunc) {
 
 func main() {
 	flag.Parse()
+	startProfiles()
+	defer stopProfiles()
 	if *flagBtor2 != "" {
 		reportBtor2(*flagBtor2)
 		return
@@ -95,6 +136,11 @@ func main() {
 	opts.Learner.Workers = *flagWorkers
 	opts.Learner.IncrementalSolver = *flagIncr
 	opts.Learner.CrossRunCache = *flagCache
+	if *flagDeterm {
+		// Mid-run clause exchange makes solver behaviour depend on sibling
+		// timing; a deterministic run keeps every worker isolated.
+		opts.Learner.ShareClauses = false
+	}
 	if *flagPersist && *flagCacheDir == "" {
 		*flagCacheDir = hh.DefaultCacheDir
 	}
@@ -142,6 +188,7 @@ func reportCacheCounters() bool {
 func die(err error) {
 	fmt.Fprintln(os.Stderr, "veloct:", err)
 	shutdown() // os.Exit skips defers; flush the proof stores explicitly
+	stopProfiles()
 	os.Exit(1)
 }
 
@@ -186,6 +233,7 @@ func verify(ctx context.Context, a *hh.Analysis, safe []string) {
 	if res.Invariant == nil {
 		fmt.Printf("RESULT: None (%s)\n", res.Reason)
 		shutdown()
+		stopProfiles()
 		os.Exit(1)
 	}
 	report(a, res, elapsed)

@@ -112,6 +112,7 @@ func (c *Context) ObjectOf(id *ast.Ident) types.Object {
 func DefaultPasses() []*Pass {
 	ps := []*Pass{
 		AtomicStatsPass(),
+		ClauseRingPass(),
 		FlushErrPass(),
 		LockScopePass(),
 		PanicScopePass(),

@@ -1,0 +1,392 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The clausering pass enforces the lock-free ring discipline: a struct
+// whose doc comment carries the `hhlint:clause-ring` annotation declares a
+// single-producer multi-consumer ring (sat.ShareRing) whose correctness
+// rests on three rules the type system cannot express:
+//
+//   - every field must be a sync/atomic type, or a slice of one (the slot
+//     array): plain fields on the ring invite torn reads across the
+//     producer/consumer boundary;
+//   - slot-array elements are written (Store/Swap/CompareAndSwap, or plain
+//     assignment) only inside the ring's own method named Publish — the
+//     single-producer publish point. Counter fields (head/tail) are mutated
+//     only inside the ring's own methods;
+//   - a consumer callback passed to the ring's Drain method must treat the
+//     delivered value as read-only: the entry is shared by every consumer,
+//     so writing through the callback parameter (element assignment, or
+//     append, which can write into shared backing capacity) is a data race.
+const ringMarker = "hhlint:clause-ring"
+
+// ClauseRingPass returns the clausering pass.
+func ClauseRingPass() *Pass {
+	return &Pass{
+		Name: "clausering",
+		Doc:  "hhlint:clause-ring structs: atomic fields, slot writes only in Publish, drained values read-only",
+		Run:  runClauseRing,
+	}
+}
+
+// ringInfo describes one annotated ring type: which field names are slot
+// arrays and which are counters. Fields are tracked by name because the
+// ring types are generic — a use site's *types.Var is the instantiated
+// field, not the one collected from the generic declaration.
+type ringInfo struct {
+	slots    map[string]bool
+	counters map[string]bool
+}
+
+// ringFacts maps the TypeName of every annotated ring struct to its info.
+type ringFacts map[*types.TypeName]*ringInfo
+
+func clauseRings(c *Context) ringFacts {
+	const key = "clausering.rings"
+	if f, ok := c.Facts[key]; ok {
+		return f.(ringFacts)
+	}
+	facts := make(ringFacts)
+	for _, pkg := range c.All {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !docContains(ringMarker, gd.Doc, ts.Doc, ts.Comment) {
+						continue
+					}
+					obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					st, ok := obj.Type().Underlying().(*types.Struct)
+					if !ok {
+						continue
+					}
+					info := &ringInfo{slots: map[string]bool{}, counters: map[string]bool{}}
+					for i := 0; i < st.NumFields(); i++ {
+						fld := st.Field(i)
+						switch {
+						case isAtomicSlice(fld.Type()):
+							info.slots[fld.Name()] = true
+						case isAtomicType(fld.Type()):
+							info.counters[fld.Name()] = true
+						}
+					}
+					facts[obj] = info
+				}
+			}
+		}
+	}
+	c.Facts[key] = facts
+	return facts
+}
+
+// isAtomicType reports whether t is a named type of package sync/atomic
+// (including instantiated generics such as atomic.Pointer[T]).
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// isAtomicSlice reports whether t is a slice (or array) of sync/atomic
+// elements — the shape of a ring's slot array.
+func isAtomicSlice(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isAtomicType(u.Elem())
+	case *types.Array:
+		return isAtomicType(u.Elem())
+	}
+	return false
+}
+
+// ringTypeName resolves a type to the TypeName of an annotated ring (after
+// pointer stripping), or nil.
+func ringTypeName(rings ringFacts, t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := rings[n.Obj()]; ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+func runClauseRing(c *Context) {
+	rings := clauseRings(c)
+	if len(rings) == 0 {
+		return
+	}
+
+	for _, file := range c.Pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				c.checkRingFieldTypes(rings, d)
+			case *ast.FuncDecl:
+				c.checkRingAccess(rings, d)
+			}
+		}
+	}
+}
+
+// checkRingFieldTypes reports plain-typed fields on annotated ring structs
+// (rule 1), at the declaration site.
+func (c *Context) checkRingFieldTypes(rings ringFacts, gd *ast.GenDecl) {
+	if gd.Tok != token.TYPE {
+		return
+	}
+	for _, spec := range gd.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		obj, ok := c.Pkg.Info.Defs[ts.Name].(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if _, marked := rings[obj]; !marked {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, fld := range st.Fields.List {
+			t := c.TypeOf(fld.Type)
+			if isAtomicType(t) || isAtomicSlice(t) {
+				continue
+			}
+			for _, name := range fld.Names {
+				c.Reportf(name.Pos(),
+					"field %s of clause-ring struct %s is not a sync/atomic type (or slice of one); ring state crosses the producer/consumer boundary",
+					name.Name, obj.Name())
+			}
+		}
+	}
+}
+
+// checkRingAccess enforces rules 2 and 3 inside one function declaration:
+// slot/counter mutations only from the sanctioned methods, and drain
+// callbacks read-only. Function literals nested in the declaration inherit
+// its method context (they run on the owning goroutine).
+func (c *Context) checkRingAccess(rings ringFacts, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	recv, name := methodOf(c, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			c.checkRingMutationCall(rings, node, recv, name)
+			c.checkDrainCallback(rings, node)
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				c.checkSlotAssign(rings, lhs, recv, name)
+			}
+		}
+		return true
+	})
+}
+
+// methodOf returns the receiver's TypeName (nil for plain functions) and
+// the declared name.
+func methodOf(c *Context, fd *ast.FuncDecl) (*types.TypeName, string) {
+	fn, ok := c.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil, fd.Name.Name
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, fd.Name.Name
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj(), fd.Name.Name
+	}
+	return nil, fd.Name.Name
+}
+
+// ringFieldOf classifies an expression as a field selection on an
+// annotated ring, returning the ring's TypeName and the field name.
+func ringFieldOf(c *Context, rings ringFacts, e ast.Expr) (*types.TypeName, string) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	s, ok := c.Pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	tn := ringTypeName(rings, s.Recv())
+	if tn == nil {
+		return nil, ""
+	}
+	return tn, sel.Sel.Name
+}
+
+// atomicMutators are the sync/atomic methods that write.
+var atomicMutators = map[string]bool{
+	"Store": true, "Swap": true, "CompareAndSwap": true, "Add": true, "Or": true, "And": true,
+}
+
+// checkRingMutationCall flags mutating atomic calls on slot elements
+// outside Publish and on counters outside the ring's own methods.
+func (c *Context) checkRingMutationCall(rings ringFacts, call *ast.CallExpr, recv *types.TypeName, fnName string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !atomicMutators[sel.Sel.Name] {
+		return
+	}
+	target := ast.Unparen(sel.X)
+	if idx, ok := target.(*ast.IndexExpr); ok {
+		// r.slots[i].Store(...): a slot write — producer-only.
+		tn, field := ringFieldOf(c, rings, idx.X)
+		if tn == nil || !rings[tn].slots[field] {
+			return
+		}
+		if recv != tn || fnName != "Publish" {
+			c.Reportf(call.Pos(),
+				"slot write %s.%s[...].%s outside the producer's Publish method (single-producer ring)",
+				tn.Name(), field, sel.Sel.Name)
+		}
+		return
+	}
+	// r.head.Store(...): a counter write — ring-methods-only.
+	tn, field := ringFieldOf(c, rings, target)
+	if tn == nil || !rings[tn].counters[field] {
+		return
+	}
+	if recv != tn {
+		c.Reportf(call.Pos(),
+			"clause-ring counter %s.%s mutated outside the ring's own methods",
+			tn.Name(), field)
+	}
+}
+
+// checkSlotAssign flags plain assignment to a slot element (ws[i] = v)
+// outside Publish — even through a non-atomic alias this is a slot write.
+func (c *Context) checkSlotAssign(rings ringFacts, lhs ast.Expr, recv *types.TypeName, fnName string) {
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	tn, field := ringFieldOf(c, rings, idx.X)
+	if tn == nil || !rings[tn].slots[field] {
+		return
+	}
+	if recv != tn || fnName != "Publish" {
+		c.Reportf(lhs.Pos(),
+			"plain write to clause-ring slot array %s.%s outside the producer's Publish method",
+			tn.Name(), field)
+	}
+}
+
+// checkDrainCallback enforces the read-only contract on consumer callbacks:
+// inside a function literal passed to a marked ring's Drain method, the
+// delivered parameter must not be written through (element assignment,
+// increment, or append — append can write into shared backing capacity).
+func (c *Context) checkDrainCallback(rings ringFacts, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Drain" {
+		return
+	}
+	if ringTypeName(rings, c.TypeOf(sel.X)) == nil {
+		return
+	}
+	for _, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		params := make(map[types.Object]bool)
+		for _, fl := range lit.Type.Params.List {
+			for _, name := range fl.Names {
+				if obj := c.Pkg.Info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+		if len(params) == 0 {
+			continue
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range node.Lhs {
+					if obj := writeRootObj(c, lhs); obj != nil && params[obj] {
+						c.Reportf(lhs.Pos(),
+							"drained clause-ring value %s mutated in consumer callback (entries are shared read-only)",
+							obj.Name())
+					}
+				}
+			case *ast.IncDecStmt:
+				if obj := writeRootObj(c, node.X); obj != nil && params[obj] {
+					c.Reportf(node.X.Pos(),
+						"drained clause-ring value %s mutated in consumer callback (entries are shared read-only)",
+						obj.Name())
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok && id.Name == "append" && len(node.Args) > 0 {
+					if obj := identObj(c, rootExpr(node.Args[0])); obj != nil && params[obj] {
+						c.Reportf(node.Args[0].Pos(),
+							"append to drained clause-ring value %s in consumer callback (may write into shared backing capacity)",
+							obj.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// writeRootObj resolves the root object of a write target that goes
+// *through* a value (p[i], *p, p[i].f, ...). A plain `p = x` rebinding is
+// not a write through the shared entry and resolves to nil.
+func writeRootObj(c *Context, e ast.Expr) types.Object {
+	switch ast.Unparen(e).(type) {
+	case *ast.IndexExpr, *ast.StarExpr, *ast.SelectorExpr:
+		return identObj(c, rootExpr(e))
+	}
+	return nil
+}
+
+// rootExpr unwraps index/selector/star/paren chains to the base expression.
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}

@@ -15,6 +15,7 @@ func TestGoldenPasses(t *testing.T) {
 		minDiags int // ISSUE floor: each pass fixture carries ≥2 expected diagnostics
 	}{
 		{"atomicstats", 2},
+		{"clausering", 2},
 		{"pooledowner", 2},
 		{"selectorrelease", 2},
 		{"flusherr", 2},

@@ -1,0 +1,78 @@
+// Package clausering is the golden-file fixture for hhlint's clausering
+// pass: Ring mirrors sat.ShareRing's single-producer multi-consumer shape,
+// and each flagged line carries a `// want` expectation.
+package clausering
+
+import "sync/atomic"
+
+// entry is one published value tagged with its sequence position.
+type entry[T any] struct {
+	pos uint64
+	val T
+}
+
+// Ring is a bounded single-producer multi-consumer ring.
+//
+// hhlint:clause-ring
+type Ring[T any] struct {
+	slots []atomic.Pointer[entry[T]]
+	head  atomic.Uint64
+	name  string // want "field name of clause-ring struct Ring is not a sync/atomic type"
+}
+
+// Publish is the single producer's write point: slot and head stores here
+// are the sanctioned ones.
+func (r *Ring[T]) Publish(v T) {
+	h := r.head.Load()
+	e := &entry[T]{pos: h, val: v}
+	r.slots[h%uint64(len(r.slots))].Store(e)
+	r.head.Store(h + 1)
+}
+
+// Drain delivers entries newer than *cur to fn.
+func (r *Ring[T]) Drain(cur *uint64, fn func(T) bool) {
+	h := r.head.Load()
+	for ; *cur < h; *cur++ {
+		e := r.slots[*cur%uint64(len(r.slots))].Load()
+		if e == nil || e.pos != *cur {
+			continue
+		}
+		if !fn(e.val) {
+			return
+		}
+	}
+}
+
+// sneakyStore bypasses Publish: slot writes are producer-only.
+func sneakyStore(r *Ring[[]int], v []int) {
+	e := &entry[[]int]{val: v}
+	r.slots[0].Store(e) // want "slot write Ring.slots"
+}
+
+// reset mutates the head counter from outside the ring's own methods.
+func reset(r *Ring[[]int]) {
+	r.head.Store(0) // want "clause-ring counter Ring.head mutated outside"
+}
+
+// goodConsumer only reads the drained value: no findings.
+func goodConsumer(r *Ring[[]int]) int {
+	var cur uint64
+	sum := 0
+	r.Drain(&cur, func(v []int) bool {
+		for _, x := range v {
+			sum += x
+		}
+		return true
+	})
+	return sum
+}
+
+// badConsumer writes through the drained value, racing other consumers.
+func badConsumer(r *Ring[[]int]) {
+	var cur uint64
+	r.Drain(&cur, func(v []int) bool {
+		v[0] = 9         // want "drained clause-ring value v mutated in consumer callback"
+		v = append(v, 1) // want "append to drained clause-ring value v"
+		return len(v) > 0
+	})
+}

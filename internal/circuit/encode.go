@@ -218,6 +218,24 @@ clauses:
 	return out
 }
 
+// NameClause translates one clause of solver literals into canonical named
+// form, or returns nil when any variable is unnamed (selector or unscoped
+// gate) — such a clause is local to this encoder and not portable. The
+// input is borrowed: the result shares nothing with it, so it is safe to
+// call from the solver's mid-run export hook, whose argument is only valid
+// for the duration of the call.
+func (e *Encoder) NameClause(lits []sat.Lit) []NamedLit {
+	named := make([]NamedLit, len(lits))
+	for i, l := range lits {
+		name := e.VarName(l.Var())
+		if name == "" {
+			return nil
+		}
+		named[i] = NamedLit{Name: name, Neg: l.Neg()}
+	}
+	return named
+}
+
 // ImportNamedClause replays one canonical clause into this encoder's
 // solver, translating names back to local literals. It reports false —
 // without touching the solver — when any name is not (yet) allocated here;

@@ -175,7 +175,7 @@ func (l *Learner) abduct(target Pred, cands []Pred, pool *encoderPool) (abductRe
 	if l.opts.IncrementalSolver && pool != nil {
 		res, err = l.abductIncremental(target, cands, pool)
 	} else {
-		res, err = l.abductFresh(target, cands)
+		res, err = l.abductFresh(target, cands, pool)
 	}
 	if err == nil && l.cache != nil {
 		l.cache.storeVerdict(l.cacheKey, vk, res)
@@ -184,8 +184,10 @@ func (l *Learner) abduct(target Pred, cands []Pred, pool *encoderPool) (abductRe
 }
 
 // abductFresh is the fresh-solver backend: one new solver and a from-
-// scratch Tseitin encoding per query.
-func (l *Learner) abductFresh(target Pred, cands []Pred) (abductResult, error) {
+// scratch Tseitin encoding per query. pool (possibly nil) is only
+// consulted for its clause-exchange attachment: even a throwaway solver
+// publishes and drains shared lemmas while it runs.
+func (l *Learner) abductFresh(target Pred, cands []Pred, pool *encoderPool) (abductResult, error) {
 	enc, err := l.sys.newEncoder()
 	if err != nil {
 		return abductResult{}, err
@@ -227,6 +229,9 @@ func (l *Learner) abductFresh(target Pred, cands []Pred) (abductResult, error) {
 	// interrupt fresh-backend searches too.
 	l.trackSolver(enc.S)
 	defer l.untrackSolver(enc.S)
+	if pool != nil && pool.exchange != nil {
+		pool.exchange.install(pool.worker, enc)
+	}
 
 	st, core, err := l.solveAbduction(enc.S, sels, target)
 	if err != nil {

@@ -60,6 +60,20 @@ type Options struct {
 	// they never fail the learner. See OpenProofDB for explicit lifecycle
 	// control and CloseProofDBs for the process-exit hook.
 	CacheDir string
+	// ShareClauses enables lock-free mid-run clause exchange between
+	// workers: each worker's solver publishes its hottest learnt clauses
+	// (low LBD, short, over canonically named variables) into a bounded
+	// per-worker ring and drains its siblings' rings at restart boundaries.
+	// It only engages with Workers > 1 — with one worker there is no
+	// sibling to share with — and composes with both abduction backends.
+	// Disabling it is the clause-sharing ablation
+	// (BenchmarkAblationClauseShare) and restores per-worker solver
+	// determinism (the -deterministic flag of the CLIs).
+	ShareClauses bool
+	// ShareRingSize is the per-worker ring capacity in clauses; 0 selects
+	// the default (256). The ring overwrites oldest, so the size bounds
+	// memory, not throughput.
+	ShareRingSize int
 	// InitialSolverConflicts seeds the budget-escalation ladder: every
 	// abduction query's first attempt runs under this many solver conflicts
 	// and each sat.Unknown verdict escalates the budget ×4 (counted by
@@ -82,7 +96,8 @@ type Options struct {
 // assumption-scoped abduction queries; verification state shared across
 // runs over the same system).
 func DefaultOptions() Options {
-	return Options{Workers: 1, MinimizeCores: true, IncrementalSolver: true, CrossRunCache: true}
+	return Options{Workers: 1, MinimizeCores: true, IncrementalSolver: true, CrossRunCache: true,
+		ShareClauses: true}
 }
 
 // Tiered is an optional interface predicates may implement to support
@@ -140,6 +155,15 @@ type Stats struct {
 	CacheDiskFlushes int64
 	CacheEntries     int64
 	CacheBytes       int64
+
+	// Mid-run clause-exchange counters (Options.ShareClauses): clauses
+	// published into this learner's rings and clauses drained out of
+	// sibling rings into a solver. SolverConflicts totals CDCL conflicts
+	// across every solver the learner owned — the effort metric the
+	// clause-sharing ablation compares.
+	ShareExported   int64
+	ShareImported   int64
+	SolverConflicts int64
 
 	// Budget-escalation counters (Options.InitialSolverConflicts /
 	// MaxSolverConflicts): attempts re-issued with an escalated conflict
@@ -318,10 +342,17 @@ type Learner struct {
 	active  int
 	err     error
 	// solvers is the registry of live solver instances currently owned by
-	// this learner's workers (pooled or fresh). A cancellation interrupts
-	// every member so in-flight CDCL searches return Unknown within one
-	// interrupt-check interval instead of running to completion.
-	solvers map[*sat.Solver]struct{}
+	// this learner's workers (pooled or fresh), mapped to their cumulative
+	// conflict count at registration. A cancellation interrupts every
+	// member so in-flight CDCL searches return Unknown within one
+	// interrupt-check interval instead of running to completion; on
+	// deregistration the conflict delta since registration is folded into
+	// Stats.SolverConflicts.
+	solvers map[*sat.Solver]int64
+
+	// exchange is the mid-run clause-sharing fabric (Options.ShareClauses);
+	// nil when sharing is off or the learner runs a single worker.
+	exchange *clauseExchange
 }
 
 type entry struct {
@@ -346,10 +377,13 @@ func NewLearner(sys *System, mine MineOracle, opts Options) *Learner {
 		init:    circuit.InitSnapshot(sys.Circuit),
 		entries: make(map[string]*entry),
 		failed:  make(map[string]bool),
-		solvers: make(map[*sat.Solver]struct{}),
+		solvers: make(map[*sat.Solver]int64),
 	}
 	if l.opts.Workers == 0 {
 		l.opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.ShareClauses && l.opts.Workers > 1 {
+		l.exchange = newClauseExchange(l.opts.Workers, opts.ShareRingSize, l.stats)
 	}
 	if opts.CrossRunCache {
 		if key, ok := sys.CacheKey(); ok {
@@ -446,10 +480,10 @@ func (l *Learner) LearnCtx(ctx context.Context, targets []Pred) (*Invariant, err
 	var wg sync.WaitGroup
 	for w := 0; w < l.opts.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			l.worker()
-		}()
+			l.worker(w)
+		}(w)
 	}
 	wg.Wait()
 	close(done)
@@ -489,8 +523,8 @@ func (l *Learner) interrupt() {
 		l.err = errLearnInterrupted
 	}
 	live := make([]*sat.Solver, 0, len(l.solvers))
-	for s := range l.solvers {
-		live = append(live, s)
+	for sv := range l.solvers {
+		live = append(live, sv)
 	}
 	l.cond.Broadcast()
 	l.mu.Unlock()
@@ -507,8 +541,9 @@ func (l *Learner) interrupt() {
 // solver is interrupted immediately to close the register/interrupt race.
 func (l *Learner) trackSolver(s *sat.Solver) {
 	s.ClearInterrupt()
+	base := s.Stats.Conflicts // solver is idle between owners; plain read is safe
 	l.mu.Lock()
-	l.solvers[s] = struct{}{}
+	l.solvers[s] = base
 	l.mu.Unlock()
 	if l.stop.Load() {
 		s.Interrupt()
@@ -516,11 +551,17 @@ func (l *Learner) trackSolver(s *sat.Solver) {
 }
 
 // untrackSolver removes a solver leaving the worker's ownership (query
-// teardown or pool retirement) from the cancellation registry.
+// teardown or pool retirement) from the cancellation registry, charging
+// the conflicts it burned while owned to Stats.SolverConflicts.
 func (l *Learner) untrackSolver(s *sat.Solver) {
+	conflicts := s.Stats.Conflicts // idle again: the owning query has returned
 	l.mu.Lock()
+	base, ok := l.solvers[s]
 	delete(l.solvers, s)
 	l.mu.Unlock()
+	if ok {
+		atomic.AddInt64(&l.stats.SolverConflicts, conflicts-base)
+	}
 }
 
 // finishPersist runs at Learn shutdown: it snapshots the cache's durable
@@ -580,10 +621,12 @@ func (l *Learner) holdsAtInit(p Pred) (bool, error) {
 // worker pulls obligations until the global fixpoint is reached. Each
 // worker owns a private solver/encoder pool for the incremental abduction
 // backend (solvers are single-threaded; pooling per worker keeps the hot
-// path lock-free).
-func (l *Learner) worker() {
+// path lock-free). w is the worker's index — its producer slot in the
+// mid-run clause exchange.
+func (l *Learner) worker(w int) {
 	pool := newEncoderPool(l.sys, l.stats)
 	pool.attachCache(l.cache, l.cacheKey)
+	pool.attachExchange(l.exchange, w)
 	pool.observeSolvers(l.trackSolver, l.untrackSolver)
 	defer pool.retire()
 	for {

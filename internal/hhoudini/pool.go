@@ -39,6 +39,12 @@ type encoderPool struct {
 	cache *VerifyCache
 	key   string
 
+	// exchange/worker wire pooled solvers into the mid-run clause-sharing
+	// fabric (attachExchange): worker is this pool's producer slot. A nil
+	// exchange leaves sharing off.
+	exchange *clauseExchange
+	worker   int
+
 	// onSolver/onRetire observe solvers entering and leaving the pool's
 	// ownership (observeSolvers). The learner uses them to maintain its
 	// cancellation registry: every live solver must be interruptible when
@@ -62,6 +68,13 @@ func (pl *encoderPool) attachCache(c *VerifyCache, key string) {
 		return
 	}
 	pl.cache, pl.key = c, key
+}
+
+// attachExchange connects the pool to the learner's mid-run clause
+// exchange, with w as this pool's (worker's) producer slot. A nil exchange
+// is a no-op.
+func (pl *encoderPool) attachExchange(x *clauseExchange, w int) {
+	pl.exchange, pl.worker = x, w
 }
 
 // observeSolvers installs the ownership observers: onSolver fires for each
@@ -124,6 +137,9 @@ func (pl *encoderPool) get(target Pred) (*pooledEncoder, bool, error) {
 			if pl.onSolver != nil {
 				pl.onSolver(pe.enc.S)
 			}
+			if pl.exchange != nil {
+				pl.exchange.install(pl.worker, pe.enc)
+			}
 			return pe, true, nil
 		}
 		if pl.stats != nil {
@@ -146,6 +162,9 @@ func (pl *encoderPool) get(target Pred) (*pooledEncoder, bool, error) {
 	if pl.onSolver != nil {
 		pl.onSolver(enc.S)
 	}
+	if pl.exchange != nil {
+		pl.exchange.install(pl.worker, enc)
+	}
 	return pe, false, nil
 }
 
@@ -161,6 +180,10 @@ func (pl *encoderPool) retire() {
 	}
 	pl.retired = true
 	for ck, pe := range pl.entries {
+		// Disconnect from the exchange before the encoder can change hands:
+		// a cached solver must never fire hooks into a retired Learner's
+		// rings (the next owner installs its own).
+		pe.enc.S.SetExchangeHooks(nil, nil)
 		if pl.onRetire != nil {
 			pl.onRetire(pe.enc.S)
 		}

@@ -1,0 +1,66 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Differential test for the arena solver on *interleaved* incremental use:
+// random rounds of AddClause / Solve-with-assumptions against brute-force
+// enumeration. The single-shot quick tests never add clauses after a Solve,
+// which is exactly what BMC/PDR/the learner do all day.
+func TestArenaVsBruteForceInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 3 + rng.Intn(8)
+		s := New()
+		addVars(s, nVars)
+		var acc [][]Lit // clauses added so far
+		rounds := 2 + rng.Intn(5)
+		for r := 0; r < rounds; r++ {
+			for _, c := range randomClauses(rng, nVars, 1+rng.Intn(2*nVars), 3) {
+				acc = append(acc, c)
+				s.AddClause(c...)
+			}
+			nAssum := rng.Intn(3)
+			var assum []Lit
+			used := map[Var]bool{}
+			for len(assum) < nAssum {
+				v := Var(rng.Intn(nVars))
+				if used[v] {
+					break
+				}
+				used[v] = true
+				assum = append(assum, MkLit(v, rng.Intn(2) == 1))
+			}
+			all := append([][]Lit{}, acc...)
+			for _, a := range assum {
+				all = append(all, []Lit{a})
+			}
+			want, _ := bruteForce(nVars, all)
+			st := s.Solve(assum...)
+			if want && st != Sat {
+				t.Fatalf("iter %d round %d: brute force Sat, solver %v (assum %v, clauses %v)",
+					iter, r, st, assum, acc)
+			}
+			if !want && st != Unsat {
+				t.Fatalf("iter %d round %d: brute force Unsat, solver %v (assum %v, clauses %v)",
+					iter, r, st, assum, acc)
+			}
+			if st == Sat {
+				for _, c := range acc {
+					ok := false
+					for _, l := range c {
+						if s.ModelValue(l) {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						t.Fatalf("iter %d round %d: model violates %v", iter, r, c)
+					}
+				}
+			}
+		}
+	}
+}

@@ -59,12 +59,7 @@ func ParseDIMACSLimit(r io.Reader, maxVars int) (*Solver, error) {
 // DIMACS format.
 func (s *Solver) WriteDIMACS(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	n := 0
-	for i := range s.clauses {
-		if !s.clauses[i].learnt && !s.clauses[i].deleted {
-			n++
-		}
-	}
+	n := s.liveProblem
 	// Level-0 facts live on the trail rather than in the clause DB; emit
 	// them as unit clauses so the formula round-trips faithfully.
 	units := 0
@@ -87,12 +82,12 @@ func (s *Solver) WriteDIMACS(w io.Writer) error {
 		}
 		fmt.Fprintf(bw, "%d 0\n", v)
 	}
-	for i := range s.clauses {
-		c := &s.clauses[i]
-		if c.learnt || c.deleted {
-			continue
+	s.forEachClause(func(cr clauseRef) {
+		if s.isLearnt(cr) {
+			return
 		}
-		for _, l := range c.lits {
+		for _, w := range s.clauseLits(cr) {
+			l := Lit(w)
 			v := int(l.Var()) + 1
 			if l.Neg() {
 				v = -v
@@ -100,7 +95,7 @@ func (s *Solver) WriteDIMACS(w io.Writer) error {
 			fmt.Fprintf(bw, "%d ", v)
 		}
 		fmt.Fprintln(bw, 0)
-	}
+	})
 	return bw.Flush()
 }
 

@@ -2,32 +2,9 @@ package sat
 
 import "testing"
 
-// php adds a pigeonhole instance PHP(pigeons, holes) to the solver and
-// returns nothing; UNSAT whenever pigeons > holes, and small instances
-// already force real CDCL learning.
-func php(s *Solver, pigeons, holes int) {
-	lit := func(p, h int) Lit {
-		v := Var(p*holes + h)
-		for s.NumVars() <= int(v) {
-			s.NewVar()
-		}
-		return PosLit(v)
-	}
-	for p := 0; p < pigeons; p++ {
-		cl := make([]Lit, holes)
-		for h := 0; h < holes; h++ {
-			cl[h] = lit(p, h)
-		}
-		s.AddClause(cl...)
-	}
-	for h := 0; h < holes; h++ {
-		for p1 := 0; p1 < pigeons; p1++ {
-			for p2 := p1 + 1; p2 < pigeons; p2++ {
-				s.AddClause(lit(p1, h).Not(), lit(p2, h).Not())
-			}
-		}
-	}
-}
+// php is shorthand for AddPigeonhole (benchwork.go) in this package's
+// tests.
+func php(s *Solver, pigeons, holes int) { AddPigeonhole(s, pigeons, holes) }
 
 // TestExportLearntsRootUnitsHonorLocality checks the unit-fact half of the
 // export path: level-0 trail literals are exported as unit clauses unless

@@ -41,7 +41,7 @@ func (s *Solver) IsLocal(v Var) bool { return int(v) < len(s.local) && s.local[v
 // ExportLearnts returns copies of the live learnt clauses that are sound to
 // replay into another solver over the same base clause database: clauses
 // tagged base at learn time (no local variables in the clause; see
-// clause.base) and no longer than maxLen literals (long clauses rarely pay
+// hdrBase in arena.go) and no longer than maxLen literals (long clauses rarely pay
 // for their replay cost). Level-0 unit facts — learnt units never enter the
 // learnt index, they are enqueued directly on the root trail — are exported
 // as single-literal clauses under the same locality filter. Must be called
@@ -57,11 +57,15 @@ func (s *Solver) ExportLearnts(maxLen int) [][]Lit {
 		}
 	}
 	for _, cr := range s.learnts {
-		c := &s.clauses[cr]
-		if c.deleted || !c.base || len(c.lits) == 0 || len(c.lits) > maxLen {
+		if s.isDeleted(cr) || !s.isBase(cr) || s.clauseSize(cr) > maxLen {
 			continue
 		}
-		out = append(out, append([]Lit(nil), c.lits...))
+		lits := s.clauseLits(cr)
+		cl := make([]Lit, len(lits))
+		for i, w := range lits {
+			cl[i] = Lit(w)
+		}
+		out = append(out, cl)
 	}
 	s.Stats.Exported += int64(len(out))
 	return out
@@ -110,33 +114,31 @@ func (s *Solver) Simplify() {
 	for _, l := range s.trail {
 		s.reason[l.Var()] = crUndef
 	}
-	for i := range s.clauses {
-		c := &s.clauses[i]
-		if c.deleted || len(c.lits) == 0 {
-			continue
-		}
-		satisfied := false
-		for _, l := range c.lits {
-			if s.valueLit(l) == lTrue {
-				satisfied = true
-				break
+	// Collect the satisfied clauses into the reusable scratch buffer first
+	// (detaching while forEachClause walks the slab would be fine — deletion
+	// only flips a header bit — but keeping mutation out of the walk keeps
+	// the invariant simple), then detach and delete.
+	s.scratchRefs = s.scratchRefs[:0]
+	s.forEachClause(func(cr clauseRef) {
+		for _, w := range s.clauseLits(cr) {
+			if s.valueLit(Lit(w)) == lTrue {
+				s.scratchRefs = append(s.scratchRefs, cr)
+				return
 			}
 		}
-		if !satisfied {
-			continue
-		}
-		s.detachClause(clauseRef(i))
-		c.deleted = true
-		c.lits = nil
-		s.Stats.Deleted++
+	})
+	for _, cr := range s.scratchRefs {
+		s.detachClause(cr)
+		s.markDeleted(cr)
 	}
-	// Compact the learnt index.
+	// Compact the learnt index, then reclaim the slab if enough died.
 	j := 0
 	for _, cr := range s.learnts {
-		if !s.clauses[cr].deleted {
+		if !s.isDeleted(cr) {
 			s.learnts[j] = cr
 			j++
 		}
 	}
 	s.learnts = s.learnts[:j]
+	s.maybeCollect()
 }

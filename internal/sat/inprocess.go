@@ -1,0 +1,217 @@
+package sat
+
+// Inprocessing: backward subsumption and self-subsuming resolution (SSR)
+// over the arena, run at restart boundaries every inprocessInterval
+// conflicts (see Solve). The pass walks every live clause C of bounded
+// length and, through occurrence lists, finds clauses D ⊇ C (delete D —
+// it is implied by C) and clauses D with C ⊆ (D ∖ {¬x}) ∪ {x} for exactly
+// one literal x ∈ C (strengthen D by removing ¬x: the resolvent of C and D
+// on x subsumes D).
+//
+// Soundness notes:
+//
+//   - Strengthening is always sound: the resolvent is implied by C ∧ D,
+//     both of which are implied by the problem clauses, and it subsumes D,
+//     so swapping D for it preserves the model set exactly.
+//   - Deletion is restricted: a learnt clause may delete learnt clauses
+//     (learnts are redundant by construction, so losing the subsumer later
+//     to reduceDB costs nothing), and a problem clause may delete anything,
+//     but a learnt subsumer never deletes a problem clause — if reduceDB
+//     later dropped the learnt subsumer, the problem clause's constraint
+//     would be silently lost.
+//   - The pass runs at decision level 0 with the trail propagated to
+//     fixpoint and level-0 reasons cleared (level-0 assignments are
+//     permanent and never re-examined by conflict analysis), so no clause
+//     is locked as a reason while it is deleted or strengthened.
+
+const (
+	// inprocessInterval is the number of conflicts between inprocessing
+	// passes; small queries never reach it (the pass is for the long
+	// refutations behind escalated abduction budgets).
+	inprocessInterval = 10000
+	// subsumeMaxLen bounds the clauses considered: long clauses almost
+	// never subsume anything and make the occurrence lists quadratic.
+	subsumeMaxLen = 30
+)
+
+// inprocess runs one backward-subsumption + SSR pass. Caller must be at
+// decision level 0.
+func (s *Solver) inprocess() {
+	if !s.ok || s.decisionLevel() != 0 {
+		return
+	}
+	if s.propagate() != crUndef {
+		s.ok = false
+		return
+	}
+	s.Stats.Inprocessings++
+	s.lastInprocess = s.Stats.Conflicts
+	for _, l := range s.trail {
+		s.reason[l.Var()] = crUndef
+	}
+
+	// Candidate set and occurrence lists (literal → clauses containing it).
+	s.scratchRefs = s.scratchRefs[:0]
+	s.forEachClause(func(cr clauseRef) {
+		if s.clauseSize(cr) <= subsumeMaxLen {
+			s.scratchRefs = append(s.scratchRefs, cr)
+		}
+	})
+	cands := s.scratchRefs
+	occ := make([][]clauseRef, 2*s.NumVars())
+	for _, cr := range cands {
+		for _, w := range s.clauseLits(cr) {
+			occ[w] = append(occ[w], cr)
+		}
+	}
+
+	for _, cr := range cands {
+		if s.isDeleted(cr) {
+			continue
+		}
+		s.subsumeWith(cr, occ)
+	}
+
+	// Compact the learnt index and reclaim the slab if the pass freed
+	// enough of it; units enqueued by strengthening propagate here.
+	j := 0
+	for _, lr := range s.learnts {
+		if !s.isDeleted(lr) {
+			s.learnts[j] = lr
+			j++
+		}
+	}
+	s.learnts = s.learnts[:j]
+	if s.propagate() != crUndef {
+		s.ok = false
+		return
+	}
+	s.maybeCollect()
+}
+
+// subsumeWith checks C (= cr) against every clause sharing C's rarest
+// literal, deleting the subsumed and strengthening the almost-subsumed.
+func (s *Solver) subsumeWith(cr clauseRef, occ [][]clauseRef) {
+	lits := s.clauseLits(cr)
+	// Pick the literal with the shortest occurrence list: every D ⊇ C must
+	// contain it. An SSR partner contains every literal of C except the
+	// resolved one x, which it holds negated — so when min = x the partner
+	// only shows up in occ[¬min]. Scanning both lists is a complete
+	// candidate set for subsumption and SSR alike.
+	min := Lit(lits[0])
+	for _, w := range lits[1:] {
+		if len(occ[w]) < len(occ[min]) {
+			min = Lit(w)
+		}
+	}
+	for _, w := range lits {
+		s.litSeen[w] = 1
+	}
+	size := len(lits)
+	learnt := s.isLearnt(cr)
+
+	cands := occ[min]
+	if neg := occ[min.Not()]; len(neg) > 0 {
+		cands = append(append(make([]clauseRef, 0, len(cands)+len(neg)), cands...), neg...)
+	}
+	for _, dr := range cands {
+		if dr == cr || s.isDeleted(dr) || s.isDeleted(cr) {
+			continue
+		}
+		dl := s.clauseLits(dr)
+		if len(dl) < size {
+			continue
+		}
+		// hits = |C ∩ D|, comp = |{x ∈ C : ¬x ∈ D}| with the flipped
+		// literal remembered. Occurrence lists go stale as clauses shrink,
+		// so D may no longer contain min — the counts stay correct because
+		// they are computed from D's current body.
+		hits, comp := 0, 0
+		var flipped Lit
+		for _, dw := range dl {
+			if s.litSeen[dw] != 0 {
+				hits++
+			} else if s.litSeen[Lit(dw).Not()] != 0 {
+				comp++
+				flipped = Lit(dw)
+			}
+		}
+		switch {
+		case hits == size:
+			// C ⊆ D: D is implied by C.
+			if learnt && !s.isLearnt(dr) {
+				continue // learnt subsumer may not delete a problem clause
+			}
+			s.detachClause(dr)
+			s.markDeleted(dr)
+			s.Stats.Subsumed++
+		case hits == size-1 && comp == 1:
+			// Self-subsuming resolution: resolving C and D on the flipped
+			// literal yields D ∖ {flipped}.
+			s.strengthenClause(dr, flipped)
+			if s.isDeleted(cr) {
+				// Strengthening rebuilt D; if it collapsed onto C's own
+				// literals C may now be the subsumed one — recheck next
+				// pass rather than reasoning about it here. cr itself is
+				// never touched by strengthenClause, but bail out if a
+				// future refactor changes that.
+				break
+			}
+		}
+	}
+
+	for _, w := range lits {
+		s.litSeen[w] = 0
+	}
+}
+
+// strengthenClause removes x from the clause in place, additionally
+// dropping literals false at level 0 (sound: they contribute nothing) and
+// deleting the clause outright if some literal is true at level 0 (it is
+// permanently satisfied). The freed tail words are zeroed — forEachClause
+// skips zero headers — and counted as waste for the next compaction. A
+// clause strengthened to a unit moves to the level-0 trail; to empty,
+// the database is unsatisfiable.
+func (s *Solver) strengthenClause(cr clauseRef, x Lit) {
+	s.detachClause(cr)
+	lits := s.clauseLits(cr)
+	old := len(lits)
+	j := 0
+	for _, w := range lits {
+		l := Lit(w)
+		if l == x {
+			continue
+		}
+		switch s.valueLit(l) {
+		case lTrue:
+			// Satisfied at level 0: delete rather than strengthen. Watches
+			// are already off; re-attach is skipped by marking deleted.
+			s.markDeleted(cr)
+			return
+		case lFalse:
+			continue
+		}
+		lits[j] = w
+		j++
+	}
+	s.Stats.Strengthened++
+	for k := j; k < old; k++ {
+		lits[k] = 0
+	}
+	s.wasted += old - j
+	h := s.arena[cr]
+	s.arena[cr] = h&^(uint32(maxClauseSize)<<hdrSizeShift) | uint32(j)<<hdrSizeShift
+	switch j {
+	case 0:
+		s.markDeleted(cr)
+		s.ok = false
+	case 1:
+		l := Lit(lits[0])
+		s.markDeleted(cr)
+		if s.valueLit(l) == lUndef {
+			s.uncheckedEnqueue(l, crUndef)
+		}
+	default:
+		s.attachClause(cr)
+	}
+}

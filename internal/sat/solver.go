@@ -33,38 +33,47 @@ type Stats struct {
 	// caller increments it through ImportClause).
 	Exported int64
 	Imported int64
+	// Compactions counts arena garbage collections (see arena.go); Subsumed
+	// and Strengthened count clauses removed / shrunk by the inprocessing
+	// pass (backward subsumption and self-subsuming resolution; see
+	// inprocess.go). Inprocessings counts the passes themselves.
+	Compactions   int64
+	Subsumed      int64
+	Strengthened  int64
+	Inprocessings int64
+	// SharedOut counts learnt clauses handed to the mid-run export hook
+	// (lock-free clause exchange; see SetExchangeHooks).
+	SharedOut int64
 }
 
-type clauseRef int32
-
-const crUndef clauseRef = -1
-
-type clause struct {
-	lits    []Lit
-	act     float32
-	learnt  bool
-	deleted bool
-	// base marks a learnt clause free of local (selector) variables. Such a
-	// clause is a consequence of the base clause database alone — guarded
-	// clauses (¬s ∨ C) can never contribute to a derivation without leaving
-	// a ¬s literal behind (no clause contains a positive selector), and
-	// level-0 release units (¬s) only deactivate guarded clauses — so it is
-	// sound to replay into any solver over the same base system. Tagged at
-	// learn time (allocClause) for export via ExportLearnts.
-	base bool
-}
-
+// watcher is one two-watched-literal entry. cref carries the watchBinary
+// tag for binary clauses: their other literal is always the blocker, so
+// propagation resolves them from the watch list alone, never touching the
+// arena.
 type watcher struct {
 	cref    clauseRef
 	blocker Lit
 }
+
+// watchBinary tags a watcher whose clause has exactly two literals.
+const watchBinary = clauseRef(1) << 31
 
 // Solver is an incremental CDCL SAT solver. The zero value is not usable;
 // construct with New. A Solver is not safe for concurrent use; parallel
 // callers each build their own Solver (queries in this repository are
 // independent, mirroring the paper's per-task solver processes).
 type Solver struct {
-	clauses  []clause
+	// arena is the flat clause slab (see arena.go); wasted counts its dead
+	// words, liveProblem its live problem clauses. claAct is the learnt
+	// activity side-array (claFree recycles its slots); gcArena is the
+	// scratch slab the compactor double-buffers into.
+	arena       []uint32
+	wasted      int
+	liveProblem int
+	claAct      []float32
+	claFree     []uint32
+	gcArena     []uint32
+
 	learnts  []clauseRef
 	watches  [][]watcher // indexed by Lit
 	assigns  []lbool     // indexed by Var
@@ -83,7 +92,11 @@ type Solver struct {
 	order    *varHeap
 
 	seen         []byte
+	litSeen      []byte // indexed by Lit; inprocessing subset checks
+	stampLevel   []int64
+	stampCtr     int64
 	analyzeStack []Lit
+	learntBuf    []Lit // reusable conflict-clause buffer (see analyze)
 	toClear      []Lit
 
 	ok          bool // false once the clause DB is UNSAT at level 0
@@ -91,8 +104,22 @@ type Solver struct {
 	core        []Lit
 	assumptions []Lit
 
-	maxLearnts     float64
-	learntAdjustCt int64
+	maxLearnts      float64
+	learntAdjustCt  int64
+	learntAdjustIvl float64 // current adjustment interval, grows by adjustInc
+
+	// lastInprocess remembers Stats.Conflicts at the previous inprocessing
+	// pass; scratchRefs is Simplify's reusable satisfied-clause buffer.
+	lastInprocess int64
+	scratchRefs   []clauseRef
+
+	// exportHook/drainHook are the mid-run clause-exchange callbacks
+	// (SetExchangeHooks): exportHook fires inside the search loop for each
+	// freshly learnt low-LBD base clause, drainHook fires at restart
+	// boundaries with the solver backtracked to level 0 so foreign clauses
+	// can be imported via AddClause.
+	exportHook func(lits []Lit, lbd int)
+	drainHook  func()
 
 	// MaxConflicts bounds the search effort per Solve call; <0 means
 	// unlimited. When the budget is exhausted Solve returns Unknown.
@@ -100,6 +127,11 @@ type Solver struct {
 	// counter: long-lived (pooled) solvers should use SetConflictBudget,
 	// which expresses a budget relative to the work already done.
 	MaxConflicts int64
+
+	// ActivityOnlyReduce restores the pre-arena learnt-DB reduction policy
+	// (sort by activity alone, ignore LBD) for the SAT-core ablation in
+	// cmd/experiments. Leave false for the LBD-guided default.
+	ActivityOnlyReduce bool
 
 	// interrupted is the cooperative cancellation flag: Interrupt (callable
 	// from any goroutine — the only concurrency-safe entry point on a
@@ -119,6 +151,7 @@ type Solver struct {
 // New returns an empty solver with no variables and no clauses.
 func New() *Solver {
 	s := &Solver{
+		arena:        make([]uint32, 1, 1024), // offset 0 is the crUndef sentinel
 		ok:           true,
 		varInc:       1.0,
 		claInc:       1.0,
@@ -136,6 +169,14 @@ const (
 	learntIncFactor = 1.1
 	adjustStart     = 100
 	adjustInc       = 1.5
+
+	// glueLBD: learnt clauses at or below this LBD are never deleted by
+	// reduceDB ("glue" clauses in Glucose terminology).
+	glueLBD = 2
+	// shareMaxLBD/shareMaxLen bound what the mid-run export hook is offered:
+	// only short, low-glue clauses are worth a sibling's import cost.
+	shareMaxLBD = 4
+	shareMaxLen = 12
 )
 
 // NumVars returns the number of allocated variables.
@@ -153,6 +194,7 @@ func (s *Solver) NewVar() Var {
 	s.reason = append(s.reason, crUndef)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
+	s.litSeen = append(s.litSeen, 0, 0)
 	s.watches = append(s.watches, nil, nil)
 	s.order.insert(v)
 	return v
@@ -167,7 +209,7 @@ func (s *Solver) ensureVar(v Var) {
 
 func (s *Solver) valueVar(v Var) lbool { return s.assigns[v] }
 
-func (s *Solver) valueLit(l Lit) lbool { return s.assigns[l.Var()].xorSign(l.Neg()) }
+func (s *Solver) valueLit(l Lit) lbool { return s.assigns[l>>1].xorSignBit(lbool(l & 1)) }
 
 func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
 
@@ -215,51 +257,70 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		s.ok = s.propagate() == crUndef
 		return s.ok
 	}
-	cr := s.allocClause(out, false)
+	cr := s.allocClause(out, false, 0)
 	s.attachClause(cr)
 	return true
 }
 
-func (s *Solver) allocClause(lits []Lit, learnt bool) clauseRef {
-	cr := clauseRef(len(s.clauses))
-	c := clause{lits: append([]Lit(nil), lits...), learnt: learnt}
+// allocClause appends a clause to the arena. For learnt clauses lbd is the
+// literal block distance computed at learn time; problem clauses pass 0.
+func (s *Solver) allocClause(lits []Lit, learnt bool, lbd int) clauseRef {
+	base := false
 	if learnt {
 		// Tag base-system clauses during CDCL: a learnt clause mentioning
 		// no local (selector) variable is exportable across solvers over
-		// the same base system (see the clause.base doc comment).
-		c.base = true
-		for _, l := range c.lits {
+		// the same base system — guarded clauses (¬s ∨ C) can never
+		// contribute to a derivation without leaving a ¬s literal behind
+		// (no clause contains a positive selector), and level-0 release
+		// units (¬s) only deactivate guarded clauses — so it is sound to
+		// replay into any solver over the same base system. Exported via
+		// ExportLearnts and the mid-run exchange hook.
+		base = true
+		for _, l := range lits {
 			if s.local[l.Var()] {
-				c.base = false
+				base = false
 				break
 			}
 		}
 	}
-	s.clauses = append(s.clauses, c)
+	cr := clauseRef(len(s.arena))
+	s.arena = append(s.arena, mkHeader(len(lits), learnt, base, lbd))
+	if learnt {
+		s.arena = append(s.arena, s.allocActSlot())
+	}
+	for _, l := range lits {
+		s.arena = append(s.arena, uint32(l))
+	}
 	if learnt {
 		s.learnts = append(s.learnts, cr)
 		s.Stats.Learnt++
+	} else {
+		s.liveProblem++
 	}
 	return cr
 }
 
 func (s *Solver) attachClause(cr clauseRef) {
-	c := &s.clauses[cr]
-	l0, l1 := c.lits[0], c.lits[1]
-	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{cr, l1})
-	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{cr, l0})
+	lits := s.clauseLits(cr)
+	tag := clauseRef(0)
+	if len(lits) == 2 {
+		tag = watchBinary
+	}
+	l0, l1 := Lit(lits[0]), Lit(lits[1])
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{cr | tag, l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{cr | tag, l0})
 }
 
 func (s *Solver) detachClause(cr clauseRef) {
-	c := &s.clauses[cr]
-	s.removeWatch(c.lits[0].Not(), cr)
-	s.removeWatch(c.lits[1].Not(), cr)
+	lits := s.clauseLits(cr)
+	s.removeWatch(Lit(lits[0]).Not(), cr)
+	s.removeWatch(Lit(lits[1]).Not(), cr)
 }
 
 func (s *Solver) removeWatch(l Lit, cr clauseRef) {
 	ws := s.watches[l]
 	for i := range ws {
-		if ws[i].cref == cr {
+		if ws[i].cref&^watchBinary == cr {
 			ws[i] = ws[len(ws)-1]
 			s.watches[l] = ws[:len(ws)-1]
 			return
@@ -277,6 +338,9 @@ func (s *Solver) uncheckedEnqueue(l Lit, from clauseRef) {
 
 // propagate performs unit propagation over the two-watched-literal scheme.
 // It returns the conflicting clause reference, or crUndef.
+//
+// Binary clauses resolve entirely from the watcher (the blocker is the
+// other literal); longer clauses are walked in place in the arena.
 func (s *Solver) propagate() clauseRef {
 	confl := crUndef
 	for s.qhead < len(s.trail) {
@@ -288,40 +352,62 @@ func (s *Solver) propagate() clauseRef {
 	nextWatcher:
 		for i < len(ws) {
 			w := ws[i]
-			// Blocker check: clause already satisfied.
-			if s.valueLit(w.blocker) == lTrue {
+			// Blocker check: clause already satisfied. The value is loaded
+			// once and shared with the binary fast path below.
+			bv := s.valueLit(w.blocker)
+			if bv == lTrue {
 				ws[j] = w
 				i++
 				j++
 				continue
 			}
-			c := &s.clauses[w.cref]
-			lits := c.lits
+			if w.cref&watchBinary != 0 {
+				// Binary clause: the blocker is the only other literal.
+				i++
+				ws[j] = w
+				j++
+				if bv == lFalse {
+					confl = w.cref &^ watchBinary
+					s.qhead = len(s.trail)
+					for i < len(ws) {
+						ws[j] = ws[i]
+						i++
+						j++
+					}
+					break
+				}
+				s.uncheckedEnqueue(w.blocker, w.cref&^watchBinary)
+				continue
+			}
+			cr := w.cref
+			h := s.arena[cr]
+			start := int(cr) + 1 + int(h&hdrLearnt)
+			lits := s.arena[start : start+int(h>>hdrSizeShift)]
 			// Make sure the false literal is lits[1].
-			if lits[0] == p.Not() {
+			if Lit(lits[0]) == p.Not() {
 				lits[0], lits[1] = lits[1], lits[0]
 			}
 			i++
-			first := lits[0]
+			first := Lit(lits[0])
 			if first != w.blocker && s.valueLit(first) == lTrue {
-				ws[j] = watcher{w.cref, first}
+				ws[j] = watcher{cr, first}
 				j++
 				continue
 			}
 			// Look for a new literal to watch.
 			for k := 2; k < len(lits); k++ {
-				if s.valueLit(lits[k]) != lFalse {
+				if s.valueLit(Lit(lits[k])) != lFalse {
 					lits[1], lits[k] = lits[k], lits[1]
-					nl := lits[1].Not()
-					s.watches[nl] = append(s.watches[nl], watcher{w.cref, first})
+					nl := Lit(lits[1]).Not()
+					s.watches[nl] = append(s.watches[nl], watcher{cr, first})
 					continue nextWatcher
 				}
 			}
 			// Clause is unit or conflicting.
-			ws[j] = watcher{w.cref, first}
+			ws[j] = watcher{cr, first}
 			j++
 			if s.valueLit(first) == lFalse {
-				confl = w.cref
+				confl = cr
 				s.qhead = len(s.trail)
 				// Copy remaining watchers back.
 				for i < len(ws) {
@@ -331,7 +417,7 @@ func (s *Solver) propagate() clauseRef {
 				}
 				break
 			}
-			s.uncheckedEnqueue(first, w.cref)
+			s.uncheckedEnqueue(first, cr)
 		}
 		s.watches[p] = ws[:j]
 		if confl != crUndef {
@@ -376,34 +462,79 @@ func (s *Solver) varBumpActivity(v Var) {
 }
 
 func (s *Solver) claBumpActivity(cr clauseRef) {
-	c := &s.clauses[cr]
-	c.act += float32(s.claInc)
-	if c.act > 1e20 {
-		for _, lr := range s.learnts {
-			s.clauses[lr].act *= 1e-20
+	slot := s.arena[cr+1]
+	s.claAct[slot] += float32(s.claInc)
+	if s.claAct[slot] > 1e20 {
+		// Rescaling the whole side-array touches retired slots too; they
+		// hold stale values nobody reads, so that is harmless.
+		for i := range s.claAct {
+			s.claAct[i] *= 1e-20
 		}
 		s.claInc *= 1e-20
 	}
 }
 
+// computeLBD returns the literal block distance of a clause: the number of
+// distinct decision levels among its literals (Glucose's glue metric). Low
+// LBD predicts reuse — such clauses chain propagations across few decision
+// boundaries — so it drives both learnt-DB reduction and mid-run export.
+func (s *Solver) computeLBD(lits []Lit) int {
+	s.stampCtr++
+	n := 0
+	for _, l := range lits {
+		lv := s.level[l.Var()]
+		if lv == 0 {
+			continue
+		}
+		for int(lv) >= len(s.stampLevel) {
+			s.stampLevel = append(s.stampLevel, 0)
+		}
+		if s.stampLevel[lv] != s.stampCtr {
+			s.stampLevel[lv] = s.stampCtr
+			n++
+		}
+	}
+	return n
+}
+
+// reasonLits returns the body of p's reason clause with the invariant
+// lits[0] == p restored. The long-clause propagation path always enqueues
+// lits[0], but the binary fast path enqueues the blocker without touching
+// the arena, so a binary reason may have p at position 1 — swapping the two
+// watched positions is always safe.
+func (s *Solver) reasonLits(p Lit, cr clauseRef) []uint32 {
+	lits := s.clauseLits(cr)
+	if Lit(lits[0]) != p {
+		lits[0], lits[1] = lits[1], lits[0]
+	}
+	return lits
+}
+
 // analyze performs first-UIP conflict analysis, returning the learnt clause
 // (asserting literal first) and the backjump level.
 func (s *Solver) analyze(confl clauseRef) ([]Lit, int32) {
-	learnt := []Lit{LitUndef} // slot 0 reserved for the asserting literal
+	// The learnt clause is assembled in a reusable buffer: every caller
+	// copies the literals out (into the arena, or through the export hook)
+	// before the next conflict. Slot 0 is reserved for the asserting literal.
+	learnt := append(s.learntBuf[:0], LitUndef)
 	pathC := 0
 	p := LitUndef
 	idx := len(s.trail) - 1
 
 	for {
-		c := &s.clauses[confl]
-		if c.learnt {
+		if s.isLearnt(confl) {
 			s.claBumpActivity(confl)
 		}
+		var lits []uint32
 		start := 0
 		if p != LitUndef {
+			lits = s.reasonLits(p, confl)
 			start = 1
+		} else {
+			lits = s.clauseLits(confl)
 		}
-		for _, q := range c.lits[start:] {
+		for _, qw := range lits[start:] {
+			q := Lit(qw)
 			v := q.Var()
 			if s.seen[v] == 0 && s.level[v] > 0 {
 				s.varBumpActivity(v)
@@ -461,17 +592,13 @@ func (s *Solver) analyze(confl clauseRef) ([]Lit, int32) {
 		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
 		btLevel = s.level[learnt[1].Var()]
 	}
+	s.learntBuf = learnt
 	return learnt, btLevel
 }
 
 // litRedundant checks whether l is implied by the other literals currently
 // marked in seen (standard recursive minimization, iterative form).
 func (s *Solver) litRedundant(l Lit) bool {
-	const (
-		seenSource  = 1
-		seenRemoved = 2
-		seenFailed  = 3
-	)
 	s.analyzeStack = s.analyzeStack[:0]
 	s.analyzeStack = append(s.analyzeStack, l)
 	top := len(s.toClear)
@@ -483,8 +610,12 @@ func (s *Solver) litRedundant(l Lit) bool {
 			// Shouldn't happen for stack entries, defensive.
 			return false
 		}
-		c := &s.clauses[cr]
-		for _, q := range c.lits[1:] {
+		// Stack entries are the falsified occurrences (as they appear in
+		// learnt/reason bodies), so the literal the reason clause implied
+		// is p.Not() — that is what belongs at position 0.
+		lits := s.reasonLits(p.Not(), cr)
+		for _, qw := range lits[1:] {
+			q := Lit(qw)
 			v := q.Var()
 			if s.seen[v] != 0 || s.level[v] == 0 {
 				continue
@@ -525,8 +656,9 @@ func (s *Solver) analyzeFinal(p Lit) {
 			// assumption literal; it participates in the core as-is.
 			s.core = append(s.core, s.trail[i])
 		} else {
-			c := &s.clauses[s.reason[v]]
-			for _, q := range c.lits[1:] {
+			lits := s.reasonLits(s.trail[i], s.reason[v])
+			for _, qw := range lits[1:] {
+				q := Lit(qw)
 				if s.level[q.Var()] > 0 {
 					s.seen[q.Var()] = 1
 				}
@@ -562,29 +694,29 @@ func luby(y float64, i int) float64 {
 	return math.Pow(y, float64(seq))
 }
 
+// reduceDB halves the learnt database, deleting the clauses least likely to
+// be useful again: sorted by LBD (high glue first) with activity as the
+// tiebreak, sparing binary clauses, glue clauses (LBD <= glueLBD) and
+// clauses locked as reasons. This replaces the seed's activity-only policy;
+// ActivityOnlyReduce restores that policy so the SAT-core ablation in
+// cmd/experiments can measure the difference.
 func (s *Solver) reduceDB() {
-	// Sort learnt clauses by activity, remove the lower half (except
-	// binary/locked clauses).
 	sort.Slice(s.learnts, func(i, j int) bool {
-		ci, cj := &s.clauses[s.learnts[i]], &s.clauses[s.learnts[j]]
-		if len(ci.lits) > 2 && len(cj.lits) == 2 {
-			return true
+		ci, cj := s.learnts[i], s.learnts[j]
+		if !s.ActivityOnlyReduce {
+			li, lj := s.clauseLBD(ci), s.clauseLBD(cj)
+			if li != lj {
+				return li > lj
+			}
 		}
-		if len(ci.lits) == 2 && len(cj.lits) > 2 {
-			return false
-		}
-		return ci.act < cj.act
+		return s.clauseAct(ci) < s.clauseAct(cj)
 	})
-	extraLim := s.claInc / float64(len(s.learnts)+1)
 	j := 0
 	for i, cr := range s.learnts {
-		c := &s.clauses[cr]
-		if len(c.lits) > 2 && !s.locked(cr) &&
-			(i < len(s.learnts)/2 || float64(c.act) < extraLim) {
+		if i < len(s.learnts)/2 && s.clauseSize(cr) > 2 && !s.locked(cr) &&
+			(s.ActivityOnlyReduce || s.clauseLBD(cr) > glueLBD) {
 			s.detachClause(cr)
-			c.deleted = true
-			c.lits = nil
-			s.Stats.Deleted++
+			s.markDeleted(cr)
 		} else {
 			s.learnts[j] = cr
 			j++
@@ -594,8 +726,7 @@ func (s *Solver) reduceDB() {
 }
 
 func (s *Solver) locked(cr clauseRef) bool {
-	c := &s.clauses[cr]
-	l0 := c.lits[0]
+	l0 := Lit(s.clauseLits(cr)[0])
 	return s.valueLit(l0) == lTrue && s.reason[l0.Var()] == cr
 }
 
@@ -616,6 +747,20 @@ func (s *Solver) ClearInterrupt() { s.interrupted.Store(false) }
 // ClearInterrupt.
 func (s *Solver) Interrupted() bool { return s.interrupted.Load() }
 
+// SetExchangeHooks installs the mid-run clause-exchange callbacks (both may
+// be nil to detach). export fires inside the search loop for every freshly
+// learnt base clause with LBD <= shareMaxLBD and at most shareMaxLen
+// literals; the slice is borrowed — the hook must copy or translate it
+// before returning. drain fires at restart boundaries with the solver
+// backtracked to decision level 0, so the hook may add foreign clauses via
+// AddClause/ImportClause; a long drain should poll Interrupted and bail.
+// Hooks run on the Solve caller's goroutine and must be cleared before a
+// solver changes owners (pool retirement / cache check-in).
+func (s *Solver) SetExchangeHooks(export func(lits []Lit, lbd int), drain func()) {
+	s.exportHook = export
+	s.drainHook = drain
+}
+
 // SetConflictBudget bounds the *next* search effort to n more conflicts,
 // independent of how many conflicts this solver has already spent: it
 // rebases MaxConflicts on the cumulative Stats.Conflicts counter. n < 0
@@ -628,6 +773,22 @@ func (s *Solver) SetConflictBudget(n int64) {
 		return
 	}
 	s.MaxConflicts = s.Stats.Conflicts + n
+}
+
+// maybeExport offers a freshly learnt clause to the mid-run exchange hook
+// when it is worth a sibling's time: base (no local variables), short, and
+// low-LBD.
+func (s *Solver) maybeExport(lits []Lit, lbd int) {
+	if s.exportHook == nil || lbd > shareMaxLBD || len(lits) > shareMaxLen {
+		return
+	}
+	for _, l := range lits {
+		if s.local[l.Var()] {
+			return
+		}
+	}
+	s.Stats.SharedOut++
+	s.exportHook(lits, lbd)
 }
 
 // search runs CDCL until a model is found, the formula is refuted, the
@@ -649,11 +810,13 @@ func (s *Solver) search(nofConflicts int64) Status {
 				return Unsat
 			}
 			learnt, btLevel := s.analyze(confl)
+			lbd := s.computeLBD(learnt)
+			s.maybeExport(learnt, lbd)
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], crUndef)
 			} else {
-				cr := s.allocClause(learnt, true)
+				cr := s.allocClause(learnt, true, lbd)
 				s.attachClause(cr)
 				s.claBumpActivity(cr)
 				s.uncheckedEnqueue(learnt[0], cr)
@@ -663,10 +826,13 @@ func (s *Solver) search(nofConflicts int64) Status {
 
 			s.learntAdjustCt--
 			if s.learntAdjustCt <= 0 {
-				s.learntAdjustCt = int64(float64(s.learntAdjustCt+adjustStart) * adjustInc)
-				if s.learntAdjustCt < adjustStart {
-					s.learntAdjustCt = adjustStart
-				}
+				// Each adjustment period is adjustInc times longer than the
+				// last (MiniSat's learntsize_adjust schedule). The interval
+				// must grow geometrically: a constant period would raise
+				// maxLearnts faster than one-learnt-per-conflict can fill
+				// the DB, and reduceDB would never trigger.
+				s.learntAdjustIvl *= adjustInc
+				s.learntAdjustCt = int64(s.learntAdjustIvl)
 				s.maxLearnts *= learntIncFactor
 			}
 			continue
@@ -702,9 +868,18 @@ func (s *Solver) search(nofConflicts int64) Status {
 			}
 		}
 		if next == LitUndef {
+			if len(s.trail) == len(s.assigns) {
+				// Every variable is assigned and propagation is at fixpoint:
+				// the assignment is a model. Returning here (instead of
+				// letting pickBranchLit discover it) keeps the order heap
+				// intact — on propagation-dominated workloads the heap would
+				// otherwise be drained of every assigned variable and rebuilt
+				// one insert at a time by the final cancelUntil.
+				return Sat
+			}
 			next = s.pickBranchLit()
 			if next == LitUndef {
-				// All variables assigned: model found.
+				// All decision variables assigned: model found.
 				return Sat
 			}
 			s.Stats.Decisions++
@@ -737,6 +912,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	if s.maxLearnts < 1000 {
 		s.maxLearnts = 1000
 	}
+	s.learntAdjustIvl = adjustStart
 	s.learntAdjustCt = adjustStart
 
 	status := Unknown
@@ -752,6 +928,26 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if s.MaxConflicts >= 0 && s.Stats.Conflicts >= s.MaxConflicts && status == Unknown {
 			break
 		}
+		if status == Unknown {
+			// Restart boundary: drain sibling rings (mid-run clause
+			// exchange) and, periodically, run the inprocessing pass. Both
+			// need the solver at level 0; assumptions are re-decided by the
+			// next search call.
+			if s.drainHook != nil {
+				s.cancelUntil(0)
+				s.drainHook()
+			}
+			if s.Stats.Conflicts-s.lastInprocess >= inprocessInterval {
+				s.cancelUntil(0)
+				s.inprocess()
+			}
+			if !s.ok {
+				// A level-0 contradiction from imported or strengthened
+				// clauses refutes the database independent of assumptions.
+				s.core = s.core[:0]
+				status = Unsat
+			}
+		}
 	}
 	if status == Sat {
 		s.model = make([]lbool, len(s.assigns))
@@ -763,7 +959,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 }
 
 func (s *Solver) numProblemClauses() int {
-	return len(s.clauses) - len(s.learnts)
+	return s.liveProblem
 }
 
 // ModelValue returns the value of l in the most recent satisfying model.
@@ -800,13 +996,7 @@ func (s *Solver) Okay() bool { return s.ok }
 
 // NumClauses returns the number of live problem clauses plus learnt clauses.
 func (s *Solver) NumClauses() int {
-	n := 0
-	for i := range s.clauses {
-		if !s.clauses[i].deleted {
-			n++
-		}
-	}
-	return n
+	return s.liveProblem + len(s.learnts)
 }
 
 func (s *Solver) String() string {
