@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build lint test race race-proofdb chaos bench-smoke bench bench-json bench-persist bench-sat ci
+.PHONY: all vet build lint test race race-proofdb chaos bench-smoke bench bench-json bench-persist bench-sat bench-conecache ci
 
 all: build
 
@@ -76,4 +76,13 @@ bench-sat:
 	$(GO) run ./cmd/benchjson -sat -out BENCH_sat.json
 	$(GO) run ./cmd/benchjson -check BENCH_sat.json
 
-ci: vet build lint race race-proofdb chaos bench-smoke bench-json bench-persist bench-sat
+# Emit and self-check the cone-transfer benchmark document: a proof store
+# populated on SmallOoO warm-starts its debug-counter variant (a different
+# circuit, isomorphic target cones). The check enforces the >=90% warm
+# fraction, invariant identity with a cold run, and that the
+# whole-circuit-key ablation transfers nothing.
+bench-conecache:
+	$(GO) run ./cmd/benchjson -conecache -design small -runs 2 -out BENCH_conecache.json
+	$(GO) run ./cmd/benchjson -check BENCH_conecache.json
+
+ci: vet build lint race race-proofdb chaos bench-smoke bench-json bench-persist bench-sat bench-conecache

@@ -18,9 +18,17 @@
 // clause-sharing ablation (multi-worker verification with the mid-run
 // exchange on vs off, compared on total CDCL conflicts).
 //
+// Cone mode (-conecache, BENCH_conecache.json): cross-design cache
+// transfer. A proof store populated by verifying one OoO variant
+// warm-starts the verification of its debug-counter variant — a different
+// circuit whose target cones are all isomorphic — which only works with
+// cone-fingerprint cache keys; the whole-circuit-key ablation runs as the
+// zero-transfer control.
+//
 //	benchjson -design execstage -runs 3 -out BENCH_crossrun.json
 //	benchjson -persist -design execstage -runs 2 -out BENCH_proofdb.json
 //	benchjson -sat -out BENCH_sat.json
+//	benchjson -conecache -design small -runs 2 -out BENCH_conecache.json
 //	benchjson -check BENCH_crossrun.json
 package main
 
@@ -47,6 +55,7 @@ var (
 	flagOut     = flag.String("out", "BENCH_crossrun.json", "output path (\"-\" = stdout)")
 	flagPersist = flag.Bool("persist", false, "measure the persistent proof store (warm process restored from disk) instead of the in-memory cache")
 	flagSat     = flag.Bool("sat", false, "measure raw SAT-core throughput against the recorded pre-arena seed, plus the clause-sharing ablation")
+	flagCone    = flag.Bool("conecache", false, "measure cross-design cache transfer: a proof store populated on one OoO design warm-starts its debug-counter variant via cone-fingerprint keys")
 	flagCheck   = flag.String("check", "", "validate an existing bench JSON file and exit")
 )
 
@@ -105,6 +114,14 @@ func main() {
 			*flagOut = "BENCH_sat.json"
 		}
 		rep = runSat()
+	case *flagCone:
+		if !outSet() && *flagOut == "BENCH_crossrun.json" {
+			*flagOut = "BENCH_conecache.json"
+		}
+		if !designSet() {
+			*flagDesign = "small" // the variant pair; execstage has none
+		}
+		rep = runCone()
 	default:
 		rep = run()
 	}
@@ -130,7 +147,20 @@ func main() {
 	case *satReport:
 		fmt.Printf("benchjson: %s: propagate-heavy best +%.1f%% vs seed, sharing conflicts -%.1f%%\n",
 			*flagOut, maxImprov(r.Rows), r.Ablation.ConflictRedPct)
+	case *coneReport:
+		fmt.Printf("benchjson: %s: %s -> %s warm fraction %.1f%%, wall -%.1f%% (%d runs)\n",
+			*flagOut, r.Donor, r.Recipient, r.WarmFractionPct, r.WallReductionPct, r.Runs)
 	}
+}
+
+// designSet reports whether the user explicitly passed -design.
+func designSet() (set bool) {
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "design" {
+			set = true
+		}
+	})
+	return
 }
 
 // outSet reports whether the user explicitly passed -out.
@@ -359,6 +389,10 @@ func check(path string) {
 	}
 	if probe.Schema == satSchema {
 		checkSat(path, raw, fail)
+		return
+	}
+	if probe.Schema == coneSchema {
+		checkCone(path, raw, fail)
 		return
 	}
 	var rep report

@@ -13,6 +13,8 @@
 //	                        annotations, example richness)
 //	experiments -satcore    SAT-core ablations (arena vs. recorded seed,
 //	                        clause sharing on/off, LBD vs. activity reduction)
+//	experiments -conetransfer  cone-level cache transfer across designs
+//	                        (whole-circuit vs. cone-fingerprint cache keys)
 //	experiments -all        everything above
 //
 // Use -quick to restrict the sweeps to the smaller design variants,
@@ -56,6 +58,7 @@ var (
 	flagAblations = flag.Bool("ablations", false, "design-choice ablations")
 	flagCrossRun  = flag.Bool("crossrun", false, "cross-run cache sweep: repeated verification cold vs. warm")
 	flagSatCore   = flag.Bool("satcore", false, "SAT-core ablations: arena vs recorded seed, clause sharing on/off, LBD vs activity reduction")
+	flagConeXfer  = flag.Bool("conetransfer", false, "cone-level cache transfer: warm a design from a different design's proof store, whole-circuit vs cone keys")
 	flagAll       = flag.Bool("all", false, "run everything")
 	flagQuick     = flag.Bool("quick", false, "restrict sweeps to small variants")
 	flagDeterm    = flag.Bool("deterministic", false, "disable timing-dependent optimizations (mid-run clause sharing) for reproducible runs")
@@ -111,7 +114,7 @@ func main() {
 	flag.Parse()
 	any := *flagTable1 || *flagTable2 || *flagFig2 || *flagFig3 || *flagFig4 ||
 		*flagFig5 || *flagSpeedup || *flagAudit || *flagAblations || *flagCrossRun ||
-		*flagSatCore || *flagAll
+		*flagSatCore || *flagConeXfer || *flagAll
 	if !any {
 		flag.Usage()
 		os.Exit(2)
@@ -164,6 +167,9 @@ func main() {
 	}
 	if *flagAll || *flagSatCore {
 		satcore()
+	}
+	if *flagAll || *flagConeXfer {
+		conetransfer()
 	}
 }
 
@@ -627,5 +633,107 @@ func crossrun() {
 		fmt.Printf("%-12s %5d %12.2f %12.2f %14d %14d %10d %10d\n",
 			t.Name, rounds, coldWall.Seconds(), warmWall.Seconds(),
 			coldClauses, warmClauses, encHits, verdictHits)
+	}
+}
+
+// conetransfer measures what the cone-fingerprint cache keys buy: a proof
+// store populated by verifying one design ("donor") warms the verification
+// of a DIFFERENT design ("recipient") exactly as far as their target cones
+// are isomorphic. Each donor→recipient pair runs twice — whole-circuit keys
+// (the pre-cone ablation: the recipient's circuit fingerprint differs, so
+// nothing transfers) and cone keys — through an on-disk proof store with
+// hh.CloseProofDBs() between runs, so each row models two separate
+// processes. The recipient is also verified cold; the warm invariant must
+// match it in size (transfer changes where answers come from, not what is
+// learned).
+//
+// The MediumOoO → MediumOoO+dbg pair is the headline: the recipient differs
+// only by an unread debug counter, so every target cone is untouched and
+// the cone-keyed warm fraction approaches 1 while whole-circuit keys
+// restart cold. SmallOoO → MediumOoO is the honest structural-transfer
+// row: queue/ROB resizing rewrites most cones (see EXPERIMENTS.md), so
+// only size-independent cones (register file, early multiplier pipeline)
+// carry over.
+func conetransfer() {
+	header("Cone-level cache transfer: warm a design from another design's proof store")
+
+	mkOoO := func(v hh.OoOVariant) *hh.Target {
+		t, err := hh.NewOoO(v)
+		if err != nil {
+			die(err)
+		}
+		return t
+	}
+	dbgOf := func(v hh.OoOVariant) hh.OoOVariant {
+		v.Name += "+dbg"
+		v.DebugCounter = true
+		return v
+	}
+
+	type pair struct{ donor, recipient *hh.Target }
+	var pairs []pair
+	if *flagQuick {
+		pairs = []pair{{mkOoO(hh.SmallOoO), mkOoO(dbgOf(hh.SmallOoO))}}
+	} else {
+		pairs = []pair{
+			{mkOoO(hh.MediumOoO), mkOoO(dbgOf(hh.MediumOoO))},
+			{mkOoO(hh.SmallOoO), mkOoO(hh.MediumOoO)},
+		}
+	}
+
+	fmt.Printf("%-28s %-6s %9s %9s %8s %8s %10s %10s %9s\n",
+		"donor -> recipient", "keys", "cold(s)", "warm(s)", "inv", "queries", "memo-hits", "disk-hits", "warmfrac")
+	for _, p := range pairs {
+		// Cold recipient baseline, once per pair.
+		coldOpts := defaultOpts()
+		coldOpts.Learner.CrossRunCache = false
+		start := time.Now()
+		_, coldRes := verify(p.recipient, coldOpts)
+		coldWall := time.Since(start)
+
+		for _, cone := range []bool{false, true} {
+			dir, err := os.MkdirTemp("", "hh-conexfer-*")
+			if err != nil {
+				die(err)
+			}
+			donorOpts := defaultOpts()
+			donorOpts.Learner.Cache = hh.NewVerifyCache()
+			donorOpts.Learner.CacheDir = dir
+			donorOpts.Learner.ConeLevelCache = cone
+			verify(p.donor, donorOpts)
+			if err := hh.CloseProofDBs(); err != nil {
+				die(err)
+			}
+
+			warmOpts := defaultOpts()
+			warmOpts.Learner.Cache = hh.NewVerifyCache()
+			warmOpts.Learner.CacheDir = dir
+			warmOpts.Learner.ConeLevelCache = cone
+			start := time.Now()
+			_, warmRes := verify(p.recipient, warmOpts)
+			warmWall := time.Since(start)
+			if err := hh.CloseProofDBs(); err != nil {
+				die(err)
+			}
+			os.RemoveAll(dir)
+
+			if warmRes.Invariant.Size() != coldRes.Invariant.Size() {
+				die(fmt.Errorf("%s -> %s: warm invariant size %d != cold %d",
+					p.donor.Name, p.recipient.Name, warmRes.Invariant.Size(), coldRes.Invariant.Size()))
+			}
+			keys := "whole"
+			if cone {
+				keys = "cone"
+			}
+			hits := warmRes.Stats.CacheVerdictHits + warmRes.Stats.CacheAbductHits
+			frac := 0.0
+			if warmRes.Stats.Queries > 0 {
+				frac = float64(hits) / float64(warmRes.Stats.Queries)
+			}
+			fmt.Printf("%-28s %-6s %9.2f %9.2f %8d %8d %10d %10d %9.2f\n",
+				p.donor.Name+" -> "+p.recipient.Name, keys,
+				coldWall.Seconds(), warmWall.Seconds(), warmRes.Invariant.Size(),
+				warmRes.Stats.Queries, hits, warmRes.Stats.CacheDiskHits, frac)
+		}
 	}
 }

@@ -36,6 +36,7 @@ var (
 	flagWorkers    = flag.Int("workers", 1, "parallel learner workers (0 = GOMAXPROCS)")
 	flagIncr       = flag.Bool("incremental", true, "pooled incremental SAT backend (false: fresh solver per abduction query)")
 	flagCache      = flag.Bool("cache", true, "cross-run verification cache: share pooled solvers, learnt clauses and verdicts across Verify calls")
+	flagConeCache  = flag.Bool("cone-cache", true, "key the verification cache by per-target fan-in-cone fingerprints so results transfer across designs that share cones (false: whole-circuit keys)")
 	flagCacheDir   = flag.String("cache-dir", "", "persist the verification cache (learnt clauses + verdicts) in this directory across process runs")
 	flagPersist    = flag.Bool("persist", false, "shorthand for -cache-dir "+hh.DefaultCacheDir)
 	flagVerbose    = flag.Bool("v", false, "verbose instrumentation (cache counter report)")
@@ -136,6 +137,7 @@ func main() {
 	opts.Learner.Workers = *flagWorkers
 	opts.Learner.IncrementalSolver = *flagIncr
 	opts.Learner.CrossRunCache = *flagCache
+	opts.Learner.ConeLevelCache = *flagConeCache
 	if *flagDeterm {
 		// Mid-run clause exchange makes solver behaviour depend on sibling
 		// timing; a deterministic run keeps every worker isolated.
@@ -178,7 +180,7 @@ func reportCacheCounters() bool {
 	set := false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "cache", "cache-dir", "persist":
+		case "cache", "cache-dir", "persist", "cone-cache":
 			set = true
 		}
 	})
@@ -267,9 +269,9 @@ func report(a *hh.Analysis, res *hh.Result, elapsed time.Duration) {
 			res.Stats.SolverAllocs, res.Stats.PoolReuses,
 			res.Stats.EncodedGates, res.Stats.EncodedClauses)
 		if *flagCache && reportCacheCounters() {
-			fmt.Printf("  cache: enc hit/miss=%d/%d verdict-hits=%d clauses replayed/exported=%d/%d evictions=%d entries=%d (~%dB)\n",
+			fmt.Printf("  cache: enc hit/miss=%d/%d verdict-hits=%d abduct-hits=%d clauses replayed/exported=%d/%d evictions=%d entries=%d (~%dB)\n",
 				res.Stats.CacheEncoderHits, res.Stats.CacheEncoderMisses,
-				res.Stats.CacheVerdictHits,
+				res.Stats.CacheVerdictHits, res.Stats.CacheAbductHits,
 				res.Stats.CacheClausesReplayed, res.Stats.CacheClausesExported,
 				res.Stats.CacheEvictions, res.Stats.CacheEntries, res.Stats.CacheBytes)
 			if *flagCacheDir != "" {

@@ -79,3 +79,43 @@ func bounceOK(c *cache) {
 	e := c.checkout("k", 6)
 	c.checkin("k", 6, e)
 }
+
+// --- Cone-keyed checkout -----------------------------------------------------
+//
+// With cone-level cache keys the pool resolves a per-target key before
+// checkout and the entry must be checked back in under that same key
+// (pooledEncoder.cacheKey in the engine). The ownership rules are
+// identical; these shapes pin the pass on the key-threading idiom.
+
+// coneBounceOK mirrors encoderPool.get/retire under cone keys: checkout
+// under a resolved per-target key, remember it, check in under it.
+func coneBounceOK(c *cache, coneIdent func() (string, uint64)) {
+	key, ck := coneIdent()
+	e := c.checkout(key, ck)
+	c.checkin(key, ck, e)
+}
+
+// coneStoreOK threads the checked-out entry into the pool map keyed by the
+// resolved cone key — the engine's local-entry path.
+func coneStoreOK(p *pool, c *cache, coneIdent func() (string, uint64)) {
+	key, ck := coneIdent()
+	e := c.checkout(key, ck)
+	_ = key
+	p.entries[ck] = e
+}
+
+// A per-entry key does not soften the single-owner rule: once the entry is
+// checked in under its cone key it may belong to another worker.
+func coneUseAfterCheckin(c *cache, coneIdent func() (string, uint64)) int {
+	key, ck := coneIdent()
+	e := c.checkout(key, ck)
+	c.checkin(key, ck, e)
+	return e.n // want "use of e after it was handed to checkin"
+}
+
+// Resolving a fancy key is not an ownership path either.
+func coneLeakCheckout(c *cache, coneIdent func() (string, uint64)) bool {
+	key, ck := coneIdent()
+	e := c.checkout(key, ck) // want "checked-out value e is neither stored, returned, nor checked back in"
+	return e != nil
+}

@@ -43,6 +43,16 @@ type Encoder struct {
 	nameToVar map[string]sat.Var // canonical name → var
 	scope     string
 	scopeSeq  int
+
+	// Cone-canonical naming (cross-design clause exchange). When coneNames
+	// is installed the encoder abandons global-node-id names: nodes in the
+	// map use their canonical cone names ("c:<coneFP>:<k>"), latch and input
+	// leaves outside the map fall back to structural names ("r:<reg>:<bit>",
+	// "i:<port>:<bit>"), and AND gates outside the cone stay unnamed — their
+	// identity is not pinned by the cone fingerprint, so clauses touching
+	// them must never be exported.
+	coneMode  bool
+	coneNames map[int32]string
 }
 
 // NamedLit is a literal expressed over canonical variable names instead of
@@ -83,8 +93,20 @@ func NewEncoder(c *Circuit, s *sat.Solver) *Encoder {
 	return e
 }
 
+// SetConeNames switches the encoder to cone-canonical naming using a name
+// map from Circuit.ConeNames. Must be called before any encoding (right
+// after NewEncoder); the map is borrowed and must not be mutated.
+func (e *Encoder) SetConeNames(names map[int32]string) {
+	e.coneMode = true
+	e.coneNames = names
+}
+
 // setName records the canonical name of a variable in both directions.
+// Empty names are ignored: the variable stays local to this encoder.
 func (e *Encoder) setName(v sat.Var, name string) {
+	if name == "" {
+		return
+	}
 	for int(v) >= len(e.varNames) {
 		e.varNames = append(e.varNames, "")
 	}
@@ -135,15 +157,31 @@ func (e *Encoder) newGate() sat.Lit {
 	return l
 }
 
-// newNodeVar allocates the variable of a circuit node, named by node id —
-// stable across encoders regardless of the order cones are encoded in.
+// newNodeVar allocates the variable of a circuit node. In the default mode
+// it is named by global node id ("n:<id>") — stable across encoders of the
+// same circuit regardless of the order cones are encoded in. In cone mode
+// the canonical cone name (or structural leaf name) is used instead, and
+// AND gates outside the installed cone stay unnamed.
 func (e *Encoder) newNodeVar(id int32, gate bool) sat.Lit {
 	if gate {
 		e.stats.Gates++
 	}
 	l := sat.PosLit(e.S.NewVar())
-	e.setName(l.Var(), "n:"+itoa(int(id)))
+	e.setName(l.Var(), e.nodeVarName(id))
 	return l
+}
+
+func (e *Encoder) nodeVarName(id int32) string {
+	if !e.coneMode {
+		return "n:" + itoa(int(id))
+	}
+	if id == 0 {
+		return "n:0" // constant false means the same thing in every design
+	}
+	if nm, ok := e.coneNames[id]; ok {
+		return nm
+	}
+	return e.c.leafName(id) // "" for out-of-cone AND gates: stays unnamed
 }
 
 // itoa is strconv.Itoa without the import weight on the hot path.

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"hash/fnv"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -87,4 +89,453 @@ func (c *Circuit) computeFingerprint() uint64 {
 type fpState struct {
 	fpOnce sync.Once
 	fp     uint64
+
+	coneOnce sync.Once
+	cones    *coneTable
+
+	inRefOnce sync.Once
+	inBitPort []int32 // global input-bit index → input port index
+	inBitOff  []int32 // global input-bit index → bit offset within the port
+}
+
+// adoptIdentity shares the memoized structural identity of an equal circuit:
+// the whole-circuit fingerprint and the cone-fingerprint memo table. Only
+// valid when the two circuits are structurally identical (same node array,
+// interface, registers and wires) — callers must verify that first.
+func (c *Circuit) adoptIdentity(src *Circuit) {
+	c.fpOnce.Do(func() { c.fp = src.Fingerprint() })
+	c.coneOnce.Do(func() { c.cones = src.coneTab() })
+}
+
+// ConeFP is a 128-bit canonical fingerprint of a register fan-in cone. Two
+// cones with equal fingerprints are structurally isomorphic under the
+// canonical local numbering, so solver artifacts derived from one — learnt
+// clauses over canonical names, abduction verdicts — are sound to reuse on
+// the other even when the surrounding designs differ. 128 bits because a
+// collision would be unsound, not merely slow (same reasoning as the
+// verification cache's dual-hash verdict keys).
+type ConeFP struct {
+	A, B uint64
+}
+
+// Hex renders the fingerprint as a fixed-width 32-character hex string —
+// the form embedded in cache keys and canonical gate names.
+func (f ConeFP) Hex() string {
+	var b [32]byte
+	hexPut(b[:16], f.A)
+	hexPut(b[16:], f.B)
+	return string(b[:])
+}
+
+func hexPut(dst []byte, v uint64) {
+	const digits = "0123456789abcdef"
+	for i := 15; i >= 0; i-- {
+		dst[i] = digits[v&0xf]
+		v >>= 4
+	}
+}
+
+// coneInfo is the memoized result of one canonical cone traversal: the
+// fingerprint plus the canonical node-name map handed to encoders.
+type coneInfo struct {
+	fp    ConeFP
+	names map[int32]string
+}
+
+// coneTable memoizes cone traversals per support set. It is shared between
+// a circuit and its pure duplicates (see adoptIdentity): node ids are
+// identical across a pure replay, so the memo transfers verbatim.
+type coneTable struct {
+	mu sync.Mutex
+	m  map[string]*coneInfo
+}
+
+func (c *Circuit) coneTab() *coneTable {
+	c.coneOnce.Do(func() {
+		if c.cones == nil {
+			c.cones = &coneTable{m: make(map[string]*coneInfo)}
+		}
+	})
+	return c.cones
+}
+
+// canonSupport sorts, dedups and joins a support-register list into the
+// cone memo key. Empty names are dropped.
+func canonSupport(support []string) string {
+	s := make([]string, 0, len(support))
+	for _, name := range support {
+		if name != "" {
+			s = append(s, name)
+		}
+	}
+	sort.Strings(s)
+	out := s[:0]
+	var prev string
+	for i, name := range s {
+		if i == 0 || name != prev {
+			out = append(out, name)
+		}
+		prev = name
+	}
+	return strings.Join(out, "\x00")
+}
+
+// ConeFingerprint returns the canonical fingerprint of the union fan-in
+// cone of the named registers: for each register (sorted by name) it hashes
+// the register interface (name, width, reset value) and the structure of
+// its next-state functions under a local topological numbering, with latch
+// and input leaves identified by (register, bit) and (port, bit) rather
+// than global node id. The hash is therefore invariant to global node ids,
+// declaration order, and any part of the design outside the cone. The full
+// primary-input interface (sorted names and widths) also participates:
+// environment assumptions encode over input ports, so cones are only
+// interchangeable between designs that agree on the inputs.
+//
+// Results are memoized per support set; repeated cones cost one traversal.
+// Safe for concurrent use.
+func (c *Circuit) ConeFingerprint(support []string) ConeFP {
+	return c.coneInfoFor(support).fp
+}
+
+// ConeNames returns the canonical variable names of every node in the union
+// fan-in cone of the named registers: AND gates are named
+// "c:<coneFP.Hex()>:<local-id>" (the name embeds the cone identity, so an
+// equal name implies an equal Tseitin definition across designs), latch
+// leaves "r:<reg>:<bit>", and input leaves "i:<port>:<bit>". The returned
+// map is shared and memoized — callers must not mutate it.
+func (c *Circuit) ConeNames(support []string) map[int32]string {
+	return c.coneInfoFor(support).names
+}
+
+func (c *Circuit) coneInfoFor(support []string) *coneInfo {
+	key := canonSupport(support)
+	t := c.coneTab()
+	t.mu.Lock()
+	if ci, ok := t.m[key]; ok {
+		t.mu.Unlock()
+		return ci
+	}
+	t.mu.Unlock()
+
+	var names []string
+	if key != "" {
+		names = strings.Split(key, "\x00")
+	}
+	ci := c.computeCone(names)
+
+	t.mu.Lock()
+	if prev, ok := t.m[key]; ok {
+		ci = prev // lost a benign race; keep the canonical entry
+	} else {
+		t.m[key] = ci
+	}
+	t.mu.Unlock()
+	return ci
+}
+
+// ch128 is a per-node canonical structure hash: a 128-bit digest of the
+// node's unfolded expression tree with AND operands combined in an
+// order-insensitive way. The builder normalizes AND operand order by global
+// signal value (And2 swaps), so stored operand order varies with
+// declaration order; canonicalization must therefore not depend on it —
+// g ↔ a∧b is symmetric, so commuting operands preserves the Tseitin
+// definition a canonical name stands for.
+type ch128 struct{ a, b uint64 }
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// chWriter feeds one byte stream to the FNV-1 and FNV-1a variants at once.
+type chWriter ch128
+
+func newCHWriter() chWriter { return chWriter{a: fnvOffset64, b: fnvOffset64} }
+
+func (w *chWriter) byte(c byte) {
+	w.a = (w.a ^ uint64(c)) * fnvPrime64 // FNV-1a
+	w.b = w.b*fnvPrime64 ^ uint64(c)     // FNV-1
+}
+
+func (w *chWriter) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		w.byte(byte(v))
+		v >>= 8
+	}
+}
+
+func (w *chWriter) bool(b bool) {
+	if b {
+		w.byte(1)
+	} else {
+		w.byte(0)
+	}
+}
+
+func (w *chWriter) str(s string) {
+	w.u64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		w.byte(s[i])
+	}
+}
+
+func (w *chWriter) sum() ch128 { return ch128(*w) }
+
+// chLess orders (structure hash, inversion) operand pairs canonically.
+func chLess(x ch128, xi bool, y ch128, yi bool) bool {
+	if x.a != y.a {
+		return x.a < y.a
+	}
+	if x.b != y.b {
+		return x.b < y.b
+	}
+	return !xi && yi
+}
+
+// computeCone performs the canonical traversal in two passes over the union
+// next-state cone of the (already sorted) support registers. Pass one
+// computes a per-node canonical structure hash bottom-up, insensitive to
+// AND operand order. Pass two walks the cone again visiting AND operands in
+// canonical (structure-hash) order, assigns dense local ids in discovery
+// order, and hashes each node's structure — expressed over local ids —
+// exactly once. The same byte stream feeds two independent FNV variants to
+// form the 128-bit fingerprint.
+func (c *Circuit) computeCone(support []string) *coneInfo {
+	h1 := fnv.New64a()
+	h2 := fnv.New64()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h1.Write(buf[:])
+		h2.Write(buf[:])
+	}
+	str := func(s string) {
+		u64(uint64(len(s)))
+		h1.Write([]byte(s))
+		h2.Write([]byte(s))
+	}
+	boolBit := func(b bool) {
+		if b {
+			u64(1)
+		} else {
+			u64(0)
+		}
+	}
+
+	str("hhoudini-cone-fp/v1")
+
+	// Primary-input interface (sorted): pins the environment-encoding
+	// determinism across designs sharing this cone.
+	inNames := make([]string, len(c.inputs))
+	for i, p := range c.inputs {
+		inNames[i] = p.Name
+	}
+	sort.Strings(inNames)
+	u64(uint64(len(inNames)))
+	for _, nm := range inNames {
+		p := c.inputs[c.inIdx[nm]]
+		str("in")
+		str(p.Name)
+		u64(uint64(p.Width))
+	}
+
+	// Pass one: order-insensitive per-node structure hashes, bottom-up.
+	ch := make(map[int32]ch128)
+	type frame struct {
+		id       int32
+		expanded bool
+	}
+	var stack []frame
+	chVisit := func(root int32) {
+		if _, ok := ch[root]; ok {
+			return
+		}
+		stack = append(stack[:0], frame{id: root})
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if _, ok := ch[f.id]; ok {
+				continue
+			}
+			nd := c.nodes[f.id]
+			if nd.kind == kAnd && !f.expanded {
+				stack = append(stack, frame{id: f.id, expanded: true},
+					frame{id: nd.a.Node()}, frame{id: nd.b.Node()})
+				continue
+			}
+			w := newCHWriter()
+			switch nd.kind {
+			case kAnd:
+				pa, pb := ch[nd.a.Node()], ch[nd.b.Node()]
+				ia, ib := nd.a.Inverted(), nd.b.Inverted()
+				if chLess(pb, ib, pa, ia) {
+					pa, pb, ia, ib = pb, pa, ib, ia
+				}
+				w.byte('a')
+				w.u64(pa.a)
+				w.u64(pa.b)
+				w.bool(ia)
+				w.u64(pb.a)
+				w.u64(pb.b)
+				w.bool(ib)
+			case kLatch:
+				l := c.latches[nd.a]
+				w.byte('r')
+				w.str(c.regs[l.reg].Name)
+				w.u64(uint64(l.bit))
+			case kInput:
+				port, off := c.inputBitRef(int32(nd.a))
+				w.byte('i')
+				w.str(c.inputs[port].Name)
+				w.u64(uint64(off))
+			case kConst:
+				w.byte('k')
+			}
+			ch[f.id] = w.sum()
+		}
+	}
+
+	// Pass two: canonical-order DFS assigning local ids and hashing the
+	// stream. AND operands are visited and emitted smaller-structure-hash
+	// first; ties (isomorphic operand subtrees) fall back to ascending
+	// local id, which both orders agree on up to isomorphism.
+	local := make(map[int32]int32)
+	names := make(map[int32]string)
+	nextLocal := int32(0)
+	assign := func(id int32) int32 {
+		lid := nextLocal
+		local[id] = lid
+		nextLocal++
+		return lid
+	}
+	type andRef struct{ node, lid int32 }
+	var ands []andRef
+
+	visit := func(root int32) {
+		if _, ok := local[root]; ok {
+			return
+		}
+		chVisit(root)
+		stack = append(stack[:0], frame{id: root})
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if _, ok := local[f.id]; ok {
+				continue
+			}
+			nd := c.nodes[f.id]
+			if nd.kind == kAnd && !f.expanded {
+				first, second := nd.a.Node(), nd.b.Node()
+				if chLess(ch[second], nd.b.Inverted(), ch[first], nd.a.Inverted()) {
+					first, second = second, first
+				}
+				// LIFO: push the canonical-second child first so the
+				// canonical-first child is discovered (and numbered) first.
+				stack = append(stack, frame{id: f.id, expanded: true},
+					frame{id: second}, frame{id: first})
+				continue
+			}
+			switch nd.kind {
+			case kAnd:
+				la, lb := local[nd.a.Node()], local[nd.b.Node()]
+				ia, ib := nd.a.Inverted(), nd.b.Inverted()
+				pa, pb := ch[nd.a.Node()], ch[nd.b.Node()]
+				if chLess(pb, ib, pa, ia) || (pa == pb && ia == ib && lb < la) {
+					la, lb, ia, ib = lb, la, ib, ia
+				}
+				lid := assign(f.id)
+				str("a")
+				u64(uint64(la))
+				boolBit(ia)
+				u64(uint64(lb))
+				boolBit(ib)
+				ands = append(ands, andRef{node: f.id, lid: lid})
+			case kLatch:
+				l := c.latches[nd.a]
+				assign(f.id)
+				str("r")
+				str(c.regs[l.reg].Name)
+				u64(uint64(l.bit))
+				names[f.id] = c.leafName(f.id)
+			case kInput:
+				assign(f.id)
+				port, off := c.inputBitRef(int32(nd.a))
+				str("i")
+				str(c.inputs[port].Name)
+				u64(uint64(off))
+				names[f.id] = c.leafName(f.id)
+			case kConst:
+				assign(f.id)
+				str("k")
+			}
+		}
+	}
+
+	u64(uint64(len(support)))
+	for _, name := range support {
+		ri, ok := c.regIdx[name]
+		if !ok {
+			// Unknown register: hash its absence so the key stays total and
+			// distinct from any real cone.
+			str("reg?")
+			str(name)
+			continue
+		}
+		r := c.regs[ri]
+		str("reg")
+		str(r.Name)
+		u64(uint64(r.Width))
+		u64(r.Init)
+		for bit, root := range r.Next {
+			visit(root.Node())
+			str("root")
+			u64(uint64(bit))
+			u64(uint64(local[root.Node()]))
+			boolBit(root.Inverted())
+		}
+	}
+
+	ci := &coneInfo{fp: ConeFP{A: h1.Sum64(), B: h2.Sum64()}, names: names}
+	hex := ci.fp.Hex()
+	for _, a := range ands {
+		names[a.node] = "c:" + hex + ":" + strconv.Itoa(int(a.lid))
+	}
+	return ci
+}
+
+// inputBitRef resolves a global input-bit index to (port index, bit offset
+// within the port). The lookup tables are built lazily once per circuit.
+func (c *Circuit) inputBitRef(g int32) (port, off int32) {
+	c.inRefOnce.Do(func() {
+		c.inBitPort = make([]int32, c.nInBits)
+		c.inBitOff = make([]int32, c.nInBits)
+		bit := 0
+		for pi, p := range c.inputs {
+			for o := 0; o < p.Width; o++ {
+				c.inBitPort[bit] = int32(pi)
+				c.inBitOff[bit] = int32(o)
+				bit++
+			}
+		}
+	})
+	return c.inBitPort[g], c.inBitOff[g]
+}
+
+// leafName returns the canonical structural name of a latch or input node
+// ("r:<reg>:<bit>" / "i:<port>:<bit>"), or "" for other node kinds. These
+// names are free variables of the transition encoding: they carry no
+// Tseitin definition, so sharing them across designs is unconditionally
+// sound, and a design that lacks the referenced register or port simply
+// fails the import name lookup.
+func (c *Circuit) leafName(id int32) string {
+	nd := c.nodes[id]
+	switch nd.kind {
+	case kLatch:
+		l := c.latches[nd.a]
+		return "r:" + c.regs[l.reg].Name + ":" + itoa(l.bit)
+	case kInput:
+		port, off := c.inputBitRef(int32(nd.a))
+		return "i:" + c.inputs[port].Name + ":" + itoa(int(off))
+	}
+	return ""
 }

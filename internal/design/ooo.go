@@ -15,6 +15,13 @@ type OoOVariant struct {
 	FetchQueue int // fetch-buffer depth
 	IQ         int // issue-queue entries
 	ROB        int // reorder-buffer entries
+	// DebugCounter adds a free-running cycle counter register that nothing
+	// reads — the archetypal "instrumentation-only" RTL edit. It perturbs
+	// the whole-circuit fingerprint while leaving every verification
+	// target's fan-in cone untouched, so it is the clean demonstrator for
+	// cone-level cache transfer (a whole-circuit-keyed cache restarts cold,
+	// a cone-keyed one stays fully warm).
+	DebugCounter bool
 }
 
 // The four evaluated variants (Table 1's design-size axis).
@@ -131,6 +138,14 @@ func NewOoO(v OoOVariant) (*Target, error) {
 
 	b := circuit.NewBuilder()
 	instrIn := b.Input("instr", 32)
+
+	if v.DebugCounter {
+		// Declared before any architectural state so it also shifts every
+		// global node id — the strongest version of the "unrelated edit"
+		// the cone-keyed cache must be invariant to.
+		dbg := b.Register("dbg_cycles", 8, 0)
+		b.SetNext("dbg_cycles", b.Inc(dbg))
+	}
 
 	// Architectural state.
 	rf := make([]circuit.Word, NRegs)

@@ -160,14 +160,31 @@ func (l *Learner) abduct(target Pred, cands []Pred, pool *encoderPool) (abductRe
 		faultinject.Sleep(faultinject.QueryDelay)
 	}
 	var vk verdictKey
+	var ckey string
 	if l.cache != nil {
+		ckey = l.cacheKeyFor(target)
+	}
+	if l.cache != nil && ckey != "" {
 		vk = verdictKeyFor(target, cands, l.opts.MinimizeCores)
-		if res, fromDisk, ok := l.cache.lookupVerdict(l.cacheKey, vk, target, cands); ok {
+		if res, fromDisk, ok := l.cache.lookupVerdict(ckey, vk, target, cands); ok {
 			atomic.AddInt64(&l.stats.CacheVerdictHits, 1)
 			if fromDisk {
 				atomic.AddInt64(&l.stats.CacheDiskHits, 1)
 			}
 			return res, nil
+		}
+		// Subset-abduct memo: a proven abduct A for this target remains a
+		// valid answer for ANY candidate set containing A — adding selector
+		// assumptions cannot make A ∧ t ∧ ¬t′ satisfiable, and A ⊆ cands is
+		// exactly what qualifies it as this query's abduct. So even when the
+		// exact verdict key misses (candidate sets drift across designs and
+		// mining changes), a remembered positive answer is replayed for free.
+		if preds, fromDisk, ok := l.cache.lookupAbduct(ckey, target, cands); ok {
+			atomic.AddInt64(&l.stats.CacheAbductHits, 1)
+			if fromDisk {
+				atomic.AddInt64(&l.stats.CacheDiskHits, 1)
+			}
+			return abductResult{preds: preds, ok: true}, nil
 		}
 	}
 	var res abductResult
@@ -177,8 +194,11 @@ func (l *Learner) abduct(target Pred, cands []Pred, pool *encoderPool) (abductRe
 	} else {
 		res, err = l.abductFresh(target, cands, pool)
 	}
-	if err == nil && l.cache != nil {
-		l.cache.storeVerdict(l.cacheKey, vk, res)
+	if err == nil && l.cache != nil && ckey != "" {
+		l.cache.storeVerdict(ckey, vk, res)
+		if res.ok {
+			l.cache.storeAbduct(ckey, target, res)
+		}
 	}
 	return res, err
 }

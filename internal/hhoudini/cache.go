@@ -58,6 +58,7 @@ type VerifyCache struct {
 	evictions     int64
 	verdictHits   int64
 	verdictMisses int64
+	abductHits    int64
 	clausesStored int64
 	replayed      int64
 
@@ -75,13 +76,24 @@ type VerifyCache struct {
 // of a MegaOoO-scale sweep warm while bounding worst-case memory.
 const (
 	DefaultCacheClauseBudget = 4 << 20
-	defaultCacheMaxKeys      = 32
-	defaultCacheMaxStore     = 4096
-	defaultCacheMaxVerdicts  = 1 << 16
+	// Keys were design-global before cone-level keying (a handful per
+	// process); with Options.ConeLevelCache every distinct target cone is
+	// its own key, so the LRU must hold a design's worth of cones — the
+	// evaluated OoO designs have a few hundred. Worst-case memory stays
+	// bounded: pooled encoders by the global clause budget, clause stores
+	// and verdict memos by the per-key caps below.
+	defaultCacheMaxKeys     = 512
+	defaultCacheMaxStore    = 4096
+	defaultCacheMaxVerdicts = 1 << 16
 	// exportMaxLen caps the length of learnt clauses admitted to the
 	// clause store; long clauses rarely prune search enough to repay
 	// replay cost.
 	exportMaxLen = 8
+	// maxAbductsPerTarget caps the subset-abduct memo per (key, target):
+	// distinct proven abducts for one target are rare (candidate drift
+	// yields near-identical cores), so a small cap bounds the containment
+	// scan while keeping every useful answer.
+	maxAbductsPerTarget = 8
 )
 
 type cacheEntry struct {
@@ -92,6 +104,21 @@ type cacheEntry struct {
 	clauseSet map[string]struct{}
 
 	verdicts map[verdictKey]verdictVal
+
+	// abducts is the subset-abduct memo: target predicate ID → proven
+	// abducts (member ID lists). Unlike the verdict memo it is keyed by the
+	// target alone, because a positive answer transfers to every candidate
+	// superset of its members (see Learner.abduct). Negative (SAT) verdicts
+	// never enter here — they are only meaningful for the exact candidate
+	// set, which the verdict memo already covers.
+	abducts map[string][]abductRec
+}
+
+// abductRec is one remembered proven abduct.
+type abductRec struct {
+	sig      string   // canonical member signature (sorted IDs) for dedup
+	preds    []string // member IDs in solver-returned order
+	fromDisk bool     // restored from a persistent proof store
 }
 
 type cachedEncoder struct {
@@ -152,6 +179,7 @@ type CacheCounters struct {
 	Evictions     int64 // encoders dropped by LRU/budget pressure
 	VerdictHits   int64 // whole abduction queries answered from the memo
 	VerdictMisses int64
+	AbductHits    int64 // queries answered by the subset-abduct memo
 	ClausesStored int64 // learnt clauses admitted to clause stores
 	Replayed      int64 // learnt clauses replayed into solvers
 
@@ -176,6 +204,7 @@ func (vc *VerifyCache) Counters() CacheCounters {
 		Evictions:     atomic.LoadInt64(&vc.evictions),
 		VerdictHits:   atomic.LoadInt64(&vc.verdictHits),
 		VerdictMisses: atomic.LoadInt64(&vc.verdictMisses),
+		AbductHits:    atomic.LoadInt64(&vc.abductHits),
 		ClausesStored: atomic.LoadInt64(&vc.clausesStored),
 		Replayed:      atomic.LoadInt64(&vc.replayed),
 
@@ -233,6 +262,16 @@ func (vc *VerifyCache) lenBytes() (int, int64) {
 				bytes += 16 + int64(len(id))
 			}
 		}
+		for tid, recs := range e.abducts {
+			n += len(recs)
+			bytes += int64(len(tid))
+			for _, r := range recs {
+				bytes += verdictOverhead + int64(len(r.sig))
+				for _, id := range r.preds {
+					bytes += 16 + int64(len(id))
+				}
+			}
+		}
 	}
 	return n, bytes
 }
@@ -241,9 +280,9 @@ func (vc *VerifyCache) lenBytes() (int, int64) {
 func (vc *VerifyCache) String() string {
 	c := vc.Counters()
 	s := fmt.Sprintf(
-		"verify-cache{enc hit/miss %d/%d, checkins %d, evictions %d, verdict hit/miss %d/%d, clauses stored/replayed %d/%d, entries %d (~%dB)",
+		"verify-cache{enc hit/miss %d/%d, checkins %d, evictions %d, verdict hit/miss %d/%d, abduct hits %d, clauses stored/replayed %d/%d, entries %d (~%dB)",
 		c.EncoderHits, c.EncoderMisses, c.Checkins, c.Evictions,
-		c.VerdictHits, c.VerdictMisses, c.ClausesStored, c.Replayed,
+		c.VerdictHits, c.VerdictMisses, c.AbductHits, c.ClausesStored, c.Replayed,
 		c.Entries, c.ApproxBytes)
 	if c.DiskClausesLoaded+c.DiskVerdictsLoaded+c.DiskVerdictHits+c.DiskFlushes > 0 {
 		s += fmt.Sprintf(", disk loaded %d/%d hits %d flushes %d",
@@ -269,6 +308,7 @@ func (vc *VerifyCache) entryLocked(key string) *cacheEntry {
 			encoders:  make(map[uint64]*cachedEncoder),
 			clauseSet: make(map[string]struct{}),
 			verdicts:  make(map[verdictKey]verdictVal),
+			abducts:   make(map[string][]abductRec),
 		}
 		vc.entries[key] = e
 		vc.evictKeysLocked()
@@ -570,6 +610,113 @@ func (vc *VerifyCache) storeVerdict(key string, vk verdictKey, res abductResult)
 	e.verdicts[vk] = val
 }
 
+// --- Subset-abduct memo -----------------------------------------------------
+
+// abductSig canonicalizes an abduct's member-ID list (order-independent).
+func abductSig(ids []string) string {
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	var b []byte
+	for _, id := range sorted {
+		b = append(b, id...)
+		b = append(b, 0)
+	}
+	return string(b)
+}
+
+// lookupAbduct consults the subset-abduct memo: a remembered proven abduct
+// for target whose members all appear in cands (or are the target itself)
+// answers the query regardless of what else cands contains. When several
+// remembered abducts qualify the smallest is returned — fewer members mean
+// fewer downstream proof obligations. The second result reports whether the
+// answering record was restored from a persistent proof store.
+func (vc *VerifyCache) lookupAbduct(key string, target Pred, cands []Pred) ([]Pred, bool, bool) {
+	byID := make(map[string]Pred, len(cands)+1)
+	for _, c := range cands {
+		byID[c.ID()] = c
+	}
+	byID[target.ID()] = target
+
+	vc.mu.Lock()
+	e, ok := vc.entries[key]
+	if !ok {
+		vc.mu.Unlock()
+		return nil, false, false
+	}
+	vc.useSeq++
+	e.lastUse = vc.useSeq
+	var best *abductRec
+	for i := range e.abducts[target.ID()] {
+		r := &e.abducts[target.ID()][i]
+		contained := true
+		for _, id := range r.preds {
+			if _, ok := byID[id]; !ok {
+				contained = false
+				break
+			}
+		}
+		if !contained {
+			continue
+		}
+		if best == nil || len(r.preds) < len(best.preds) {
+			best = r
+		}
+	}
+	if best == nil {
+		vc.mu.Unlock()
+		return nil, false, false
+	}
+	ids := append([]string(nil), best.preds...)
+	fromDisk := best.fromDisk
+	vc.mu.Unlock()
+
+	preds := make([]Pred, len(ids))
+	for i, id := range ids {
+		preds[i] = byID[id]
+	}
+	atomic.AddInt64(&vc.abductHits, 1)
+	if fromDisk {
+		atomic.AddInt64(&vc.diskVerdictHits, 1)
+	}
+	return preds, fromDisk, true
+}
+
+// storeAbduct records one solver-proven abduct for target.
+func (vc *VerifyCache) storeAbduct(key string, target Pred, res abductResult) {
+	if !res.ok {
+		return
+	}
+	ids := make([]string, len(res.preds))
+	for i, p := range res.preds {
+		ids[i] = p.ID()
+	}
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	e := vc.entryLocked(key)
+	e.addAbductLocked(target.ID(), ids, false)
+}
+
+// addAbductLocked dedups and appends one abduct record; reports whether it
+// was new. Caller holds vc.mu (via entryLocked).
+func (e *cacheEntry) addAbductLocked(targetID string, ids []string, fromDisk bool) bool {
+	recs := e.abducts[targetID]
+	if len(recs) >= maxAbductsPerTarget {
+		return false
+	}
+	sig := abductSig(ids)
+	for _, r := range recs {
+		if r.sig == sig {
+			return false
+		}
+	}
+	e.abducts[targetID] = append(recs, abductRec{
+		sig:      sig,
+		preds:    append([]string(nil), ids...),
+		fromDisk: fromDisk,
+	})
+	return true
+}
+
 // --- Persistence (internal/proofdb exchange) --------------------------------
 
 // SnapshotData exports the cache's durable layers — the per-key clause
@@ -616,7 +763,22 @@ func (vc *VerifyCache) SnapshotData() *proofdb.Snapshot {
 				Preds: append([]string(nil), val.preds...),
 			})
 		}
-		if len(kr.Clauses)+len(kr.Verdicts) > 0 {
+		tids := make([]string, 0, len(e.abducts))
+		for tid := range e.abducts {
+			tids = append(tids, tid)
+		}
+		sort.Strings(tids)
+		for _, tid := range tids {
+			recs := append([]abductRec(nil), e.abducts[tid]...)
+			sort.Slice(recs, func(i, j int) bool { return recs[i].sig < recs[j].sig })
+			for _, r := range recs {
+				kr.Abducts = append(kr.Abducts, proofdb.Abduct{
+					Target: tid,
+					Preds:  append([]string(nil), r.preds...),
+				})
+			}
+		}
+		if len(kr.Clauses)+len(kr.Verdicts)+len(kr.Abducts) > 0 {
 			snap.Keys = append(snap.Keys, kr)
 		}
 	}
@@ -630,7 +792,8 @@ func (vc *VerifyCache) SnapshotData() *proofdb.Snapshot {
 // entries always win over restored ones: a verdict this process computed is
 // at least as fresh as anything on disk. Restoring more keys than the
 // cache's key budget LRU-evicts the earliest restored ones, exactly as live
-// insertion would. Returns the number of clauses and verdicts admitted.
+// insertion would. Returns the number of clauses and verdict-class records
+// (exact verdicts plus cone abducts) admitted.
 func (vc *VerifyCache) Restore(s *proofdb.Snapshot) (clauses, verdicts int) {
 	if s == nil {
 		return 0, 0
@@ -664,6 +827,14 @@ func (vc *VerifyCache) Restore(s *proofdb.Snapshot) (clauses, verdicts int) {
 				fromDisk: true,
 			}
 			verdicts++
+		}
+		for _, a := range kr.Abducts {
+			if a.Target == "" {
+				continue
+			}
+			if e.addAbductLocked(a.Target, a.Preds, true) {
+				verdicts++
+			}
 		}
 	}
 	vc.mu.Unlock()

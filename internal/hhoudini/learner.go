@@ -47,6 +47,17 @@ type Options struct {
 	// disabling it is the cross-run ablation and restores fully isolated
 	// Learn calls.
 	CrossRunCache bool
+	// ConeLevelCache rekeys every cross-run cache artifact — pooled
+	// solver/encoder pairs, stored learnt clauses, verdict and abduct memos
+	// — at predicate-cone granularity: the key is the canonical fingerprint
+	// of the target's slice cone (System.ConeCacheKey) instead of the
+	// whole-circuit fingerprint, and pooled encoders name cone-internal
+	// nodes canonically so their learnt clauses translate across designs.
+	// Two designs sharing a subsystem (e.g. a register file in front of
+	// differently-sized back-ends) then share all verification state for
+	// the predicates whose cones lie inside it. Only meaningful with
+	// CrossRunCache; disabling it is the whole-circuit-key ablation.
+	ConeLevelCache bool
 	// Cache overrides the process-global shared cache (SharedCache) when
 	// CrossRunCache is on. Useful for tests and for isolating workloads.
 	Cache *VerifyCache
@@ -97,7 +108,7 @@ type Options struct {
 // runs over the same system).
 func DefaultOptions() Options {
 	return Options{Workers: 1, MinimizeCores: true, IncrementalSolver: true, CrossRunCache: true,
-		ShareClauses: true}
+		ConeLevelCache: true, ShareClauses: true}
 }
 
 // Tiered is an optional interface predicates may implement to support
@@ -143,6 +154,11 @@ type Stats struct {
 	CacheClausesReplayed int64
 	CacheClausesExported int64
 	CacheEvictions       int64
+	// CacheAbductHits counts abduction queries answered by the subset-abduct
+	// memo (Options.ConeLevelCache): a previously proven abduct whose members
+	// are all present in the current candidate set is returned without any
+	// solver work, even when the candidate sets differ.
+	CacheAbductHits int64
 
 	// Persistent-proof-store counters (Options.CacheDir / OpenProofDB).
 	// CacheDiskHits counts abduction queries answered by a verdict memo
@@ -317,6 +333,11 @@ type Learner struct {
 	// the isolated PR 1 learner.
 	cache    *VerifyCache
 	cacheKey string
+	// coneIdents memoizes per-target cone cache identities (coneIdent) by
+	// predicate ID when Options.ConeLevelCache is on. Cone membership is a
+	// pure function of the predicate and the circuit, so the memo is sound
+	// for the learner's lifetime.
+	coneIdents sync.Map // pred ID → coneIdent
 	// pdb is the persistent proof store bound via Options.CacheDir (nil
 	// when persistence is off or the store is unusable). Learn flushes the
 	// cache into it at shutdown.
@@ -401,6 +422,46 @@ func NewLearner(sys *System, mine MineOracle, opts Options) *Learner {
 	}
 	l.cond = sync.NewCond(&l.mu)
 	return l
+}
+
+// coneIdent is one target's cone-level cache identity: the cache key
+// (System.ConeCacheKey over the support) plus the support itself, which
+// encoder construction needs to install cone-canonical node names.
+type coneIdent struct {
+	key     string
+	support []string
+}
+
+// coneIdentFor derives (and memoizes) the cone-level cache identity of a
+// target predicate. The support is the target's slice — the candidate
+// universe of its abduction queries — unioned with its own variables, so an
+// equal cone key pins the structure every artifact under the key can
+// reference: the target's next-state cone, every candidate's registers
+// (names, widths, resets) and the input interface. When slicing fails the
+// identity degrades to the whole-circuit key, which is always sound.
+func (l *Learner) coneIdentFor(target Pred) coneIdent {
+	if v, ok := l.coneIdents.Load(target.ID()); ok {
+		return v.(coneIdent)
+	}
+	ident := coneIdent{key: l.cacheKey}
+	if slice, err := l.slice.Slice(target); err == nil {
+		support := append(append([]string(nil), slice...), target.Vars()...)
+		if key, ok := l.sys.ConeCacheKey(support); ok {
+			ident = coneIdent{key: key, support: support}
+		}
+	}
+	l.coneIdents.Store(target.ID(), ident)
+	return ident
+}
+
+// cacheKeyFor returns the cache key under which target's query artifacts
+// live: the per-cone key in cone-level mode, the whole-circuit key
+// otherwise. Empty when the learner is uncached.
+func (l *Learner) cacheKeyFor(target Pred) string {
+	if l.cache == nil || !l.opts.ConeLevelCache {
+		return l.cacheKey
+	}
+	return l.coneIdentFor(target).key
 }
 
 // Stats exposes the instrumentation collected during Learn.
@@ -581,7 +642,7 @@ func (l *Learner) finishPersist() {
 		atomic.AddInt64(&l.stats.CacheDiskFlushes, 1)
 	}
 	st := l.pdb.Stats()
-	atomic.StoreInt64(&l.stats.CacheDiskLoads, st.ClausesLoaded+st.VerdictsLoaded)
+	atomic.StoreInt64(&l.stats.CacheDiskLoads, st.ClausesLoaded+st.VerdictsLoaded+st.AbductsLoaded)
 }
 
 func (l *Learner) getOrCreateLocked(p Pred) *entry {
@@ -626,6 +687,12 @@ func (l *Learner) holdsAtInit(p Pred) (bool, error) {
 func (l *Learner) worker(w int) {
 	pool := newEncoderPool(l.sys, l.stats)
 	pool.attachCache(l.cache, l.cacheKey)
+	if l.cache != nil && l.opts.ConeLevelCache {
+		pool.attachConeIdents(func(p Pred) (string, []string) {
+			id := l.coneIdentFor(p)
+			return id.key, id.support
+		})
+	}
 	pool.attachExchange(l.exchange, w)
 	pool.observeSolvers(l.trackSolver, l.untrackSolver)
 	defer pool.retire()

@@ -39,6 +39,15 @@ type encoderPool struct {
 	cache *VerifyCache
 	key   string
 
+	// coneIdent, when set (Options.ConeLevelCache), maps a target to its
+	// cone-level cache key and the register support identifying the cone.
+	// Pool entries are then checked out of, and retired into, the cache
+	// under per-cone keys, and fresh encoders are built with cone-canonical
+	// node naming so their learnt clauses transfer across designs. A nil
+	// coneIdent keeps the whole-circuit key for everything (the ablation
+	// baseline and the pre-cone behaviour).
+	coneIdent func(Pred) (key string, support []string)
+
 	// exchange/worker wire pooled solvers into the mid-run clause-sharing
 	// fabric (attachExchange): worker is this pool's producer slot. A nil
 	// exchange leaves sharing off.
@@ -68,6 +77,15 @@ func (pl *encoderPool) attachCache(c *VerifyCache, key string) {
 		return
 	}
 	pl.cache, pl.key = c, key
+}
+
+// attachConeIdents installs the cone-level identity oracle (see the
+// coneIdent field). Call after attachCache; a nil fn is a no-op.
+func (pl *encoderPool) attachConeIdents(fn func(Pred) (string, []string)) {
+	if fn == nil {
+		return
+	}
+	pl.coneIdent = fn
 }
 
 // attachExchange connects the pool to the learner's mid-run clause
@@ -127,12 +145,23 @@ func (pl *encoderPool) get(target Pred) (*pooledEncoder, bool, error) {
 		}
 		return pe, true, nil
 	}
+	// Resolve the cache identity this entry lives under: the whole-circuit
+	// key, or the target's cone-level key (with the support that drives
+	// cone-canonical naming) when the cone oracle is attached.
+	key := pl.key
+	var support []string
+	if pl.coneIdent != nil {
+		if k, sup := pl.coneIdent(target); k != "" && sup != nil {
+			key, support = k, sup
+		}
+	}
 	if pl.cache != nil {
-		if pe := pl.cache.checkout(pl.key, ck); pe != nil {
+		if pe := pl.cache.checkout(key, ck); pe != nil {
 			if pl.stats != nil {
 				atomic.AddInt64(&pl.stats.PoolReuses, 1)
 				atomic.AddInt64(&pl.stats.CacheEncoderHits, 1)
 			}
+			pe.cacheKey = key
 			pl.entries[ck] = pe
 			if pl.onSolver != nil {
 				pl.onSolver(pe.enc.S)
@@ -146,7 +175,13 @@ func (pl *encoderPool) get(target Pred) (*pooledEncoder, bool, error) {
 			atomic.AddInt64(&pl.stats.CacheEncoderMisses, 1)
 		}
 	}
-	enc, err := pl.sys.newEncoder()
+	var enc *circuit.Encoder
+	var err error
+	if support != nil {
+		enc, err = pl.sys.newEncoderForCone(support)
+	} else {
+		enc, err = pl.sys.newEncoder()
+	}
 	if err != nil {
 		return nil, false, err
 	}
@@ -155,6 +190,7 @@ func (pl *encoderPool) get(target Pred) (*pooledEncoder, bool, error) {
 	}
 	pe := &pooledEncoder{
 		enc:      enc,
+		cacheKey: key,
 		sels:     make(map[string]sat.Lit),
 		imported: make(map[int]bool),
 	}
@@ -187,8 +223,8 @@ func (pl *encoderPool) retire() {
 		if pl.onRetire != nil {
 			pl.onRetire(pe.enc.S)
 		}
-		if pl.cache != nil {
-			pl.cache.checkin(pl.key, ck, pe, pl.stats)
+		if pl.cache != nil && pe.cacheKey != "" {
+			pl.cache.checkin(pe.cacheKey, ck, pe, pl.stats)
 		}
 	}
 	pl.entries = make(map[uint64]*pooledEncoder)
@@ -202,16 +238,16 @@ func (pl *encoderPool) retire() {
 // variables, so when neither counter moved since the last attempt the whole
 // scan is skipped.
 func (pl *encoderPool) replayLearnts(pe *pooledEncoder) {
-	if pl.cache == nil {
+	if pl.cache == nil || pe.cacheKey == "" {
 		return
 	}
 	names := pe.enc.NamedVarCount()
-	storeLen := pl.cache.storeLen(pl.key)
+	storeLen := pl.cache.storeLen(pe.cacheKey)
 	if names == pe.lastNameCount && storeLen == pe.lastStoreLen {
 		return
 	}
 	pe.lastNameCount, pe.lastStoreLen = names, storeLen
-	if n := pl.cache.replayInto(pl.key, pe); n > 0 && pl.stats != nil {
+	if n := pl.cache.replayInto(pe.cacheKey, pe); n > 0 && pl.stats != nil {
 		atomic.AddInt64(&pl.stats.CacheClausesReplayed, int64(n))
 	}
 }
@@ -222,6 +258,11 @@ func (pl *encoderPool) replayLearnts(pe *pooledEncoder) {
 // one persistent selector literal guarding its attachment clause.
 type pooledEncoder struct {
 	enc *circuit.Encoder
+	// cacheKey is the cross-run cache identity this entry was constructed
+	// (or checked out) under — the whole-circuit key, or the target's
+	// cone-level key in cone mode. retire() checks the entry back in under
+	// the same key; empty means the entry is cache-isolated.
+	cacheKey string
 	// sels maps candidate predicate IDs to their persistent activation
 	// literal (guarding sel → p). A selector absent from a query's
 	// assumptions leaves its clause inactive at zero cost.

@@ -58,3 +58,36 @@ func (s *System) CacheKey() (string, bool) {
 	}
 	return strconv.FormatUint(s.Circuit.Fingerprint(), 16) + "|" + s.EnvKey, true
 }
+
+// newEncoderForCone is newEncoder with cone-canonical variable naming for
+// the transitive fan-in cone of the given support registers: circuit nodes
+// inside the cone are named by (cone fingerprint, canonical local id)
+// instead of global node id, so learnt clauses exported from this encoder
+// replay into any encoder over an isomorphic cone — including one belonging
+// to a different circuit.
+func (s *System) newEncoderForCone(support []string) (*circuit.Encoder, error) {
+	enc := circuit.NewEncoder(s.Circuit, sat.New())
+	enc.SetConeNames(s.Circuit.ConeNames(support))
+	if s.Constrain != nil {
+		if err := enc.InScope(envScope, func() error { return s.Constrain(enc) }); err != nil {
+			return nil, err
+		}
+	}
+	return enc, nil
+}
+
+// ConeCacheKey returns the cone-level cache identity for queries whose
+// candidate universe is drawn from the given register support: the
+// canonical fingerprint of the support's fan-in cone combined with the
+// environment-assumption key. Unlike CacheKey it is invariant to everything
+// outside the cone — the same cone embedded in a different design produces
+// the same key, which is what makes cross-design cache transfer sound: an
+// equal key pins the cone's structure, the support registers' names, widths
+// and reset values, and the full input interface. Cacheability follows the
+// same rule as CacheKey.
+func (s *System) ConeCacheKey(support []string) (string, bool) {
+	if s.Constrain != nil && s.EnvKey == "" {
+		return "", false
+	}
+	return "cone:" + s.Circuit.ConeFingerprint(support).Hex() + "|" + s.EnvKey, true
+}

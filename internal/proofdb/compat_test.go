@@ -1,0 +1,166 @@
+package proofdb
+
+import (
+	"bytes"
+	"os"
+	"testing"
+	"time"
+)
+
+// The tests in this file pin the version-compatibility contract of the v2
+// cone-abduct record (recConeAbduct):
+//
+//   - the header version stays at 1, so a v1-era reader opens a cone-aware
+//     store normally and skips the cone records through its unknown-type
+//     path — record-locally, never an error (cold-start for the cone layer,
+//     warm for everything it understands);
+//   - the cone-aware reader loads mixed v1+v2 stores and round-trips them;
+//   - malformed cone records are corruption, handled like any other torn
+//     record.
+
+// TestConeRecordsKeepV1Header is the backward-compatibility anchor: a store
+// containing cone-abduct records still declares "HHPDB v1", which is the
+// precondition for a v1-era reader to open it at all (a header bump would
+// cold-start it wholesale instead of record-locally).
+func TestConeRecordsKeepV1Header(t *testing.T) {
+	dir := t.TempDir()
+	populate(t, dir) // testSnapshot carries cone-abduct records
+	_, raw := storeFile(t, dir)
+	if !bytes.HasPrefix(raw, []byte("HHPDB v1\n")) {
+		t.Fatalf("cone-aware store header = %q, want HHPDB v1", bytes.SplitN(raw, []byte("\n"), 2)[0])
+	}
+	if !bytes.Contains(raw, []byte(`"t":"coneabd"`)) {
+		t.Fatal("store contains no cone-abduct record lines")
+	}
+}
+
+// TestV1ReaderSkipsConeRecordsRecordLocally simulates the v1-era reader: to
+// a reader that predates recConeAbduct, a cone record is exactly an
+// unknown-type line (valid() returns false), so we rewrite every coneabd
+// type tag to a tag no reader knows — same payload shape, same framing,
+// recomputed CRC — and assert the load keeps every v1 record, skips each
+// cone record individually, and never errors.
+func TestV1ReaderSkipsConeRecordsRecordLocally(t *testing.T) {
+	dir := t.TempDir()
+	populate(t, dir)
+	path, raw := storeFile(t, dir)
+
+	var out []byte
+	lines := bytes.Split(raw, []byte("\n"))
+	rewritten := 0
+	for i, line := range lines {
+		if i == 0 || len(line) == 0 { // header / trailing newline
+			out = append(out, line...)
+			out = append(out, '\n')
+			continue
+		}
+		r, ok := decodeLine(line)
+		if ok && r.T == recConeAbduct {
+			// Re-encode under a future tag: byte-for-byte what this record
+			// looks like to a reader that does not know its type.
+			r.T = "coneab2"
+			enc, err := encodeLine(&r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, enc...)
+			rewritten++
+			continue
+		}
+		out = append(out, line...)
+		out = append(out, '\n')
+	}
+	out = out[:len(out)-1] // drop the duplicated final newline
+	if rewritten == 0 {
+		t.Fatal("no cone-abduct records found to rewrite")
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db := mustOpen(t, dir, Options{})
+	st := db.Stats()
+	if st.HeaderRejected {
+		t.Fatal("unknown record types must not reject the whole file")
+	}
+	if st.CorruptSkipped != int64(rewritten) {
+		t.Fatalf("CorruptSkipped = %d, want %d (one per cone record)", st.CorruptSkipped, rewritten)
+	}
+	want := testSnapshot().Len() - rewritten
+	if got := db.Snapshot().Len(); got != want {
+		t.Fatalf("v1-visible records loaded = %d, want %d", got, want)
+	}
+	if st.ClausesLoaded != 3 || st.VerdictsLoaded != 3 || st.AbductsLoaded != 0 {
+		t.Fatalf("loaded clauses=%d verdicts=%d abducts=%d, want 3/3/0",
+			st.ClausesLoaded, st.VerdictsLoaded, st.AbductsLoaded)
+	}
+}
+
+// TestConeAbductPermutationDedups mirrors TestClausePermutationDedups for
+// the v2 record: the same (target, member set) under permuted member order
+// is one record.
+func TestConeAbductPermutationDedups(t *testing.T) {
+	db := mustOpen(t, t.TempDir(), Options{})
+	db.Merge(&Snapshot{Keys: []KeyRecord{{
+		Key: "cone:k|",
+		Abducts: []Abduct{
+			{Target: "t", Preds: []string{"a", "b"}},
+			{Target: "t", Preds: []string{"b", "a"}}, // permutation
+			{Target: "u", Preds: []string{"a", "b"}}, // different target: kept
+		},
+	}}})
+	if _, v := db.Len(); v != 2 {
+		t.Fatalf("permuted abduct not deduped: %d verdict-class records, want 2", v)
+	}
+}
+
+// TestMalformedConeRecordsAreCorruption: cone records that violate the
+// schema (no target, an empty member ID) are skipped and counted exactly
+// like torn lines, without disturbing their neighbors.
+func TestMalformedConeRecordsAreCorruption(t *testing.T) {
+	dir := t.TempDir()
+	populate(t, dir)
+	path, raw := storeFile(t, dir)
+	at := time.Now().Unix()
+	bad := []*record{
+		{T: recConeAbduct, Key: "cone:k|", At: at},                           // no target
+		{T: recConeAbduct, Key: "cone:k|", At: at, Preds: []string{"t", ""}}, // empty member
+		{T: recConeAbduct, Key: "", At: at, Preds: []string{"t"}},            // no key
+	}
+	for _, r := range bad {
+		enc, err := encodeLine(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw = append(raw, enc...)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := mustOpen(t, dir, Options{})
+	if got := db.Stats().CorruptSkipped; got != int64(len(bad)) {
+		t.Fatalf("CorruptSkipped = %d, want %d", got, len(bad))
+	}
+	if got, want := db.Snapshot().Len(), testSnapshot().Len(); got != want {
+		t.Fatalf("malformed cone records perturbed the load: %d records, want %d", got, want)
+	}
+}
+
+// TestMixedStoreAgingEvictsConeRecords: the staleness policy applies to v2
+// records identically (they age out and empty keys are dropped).
+func TestMixedStoreAgingEvictsConeRecords(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1_700_000_000, 0)
+	db := mustOpen(t, dir, Options{Now: func() time.Time { return now }})
+	db.Merge(testSnapshot())
+	db.opts.Now = func() time.Time { return now.Add(DefaultMaxAge + time.Hour) }
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats().AgeEvicted; got != int64(testSnapshot().Len()) {
+		t.Fatalf("AgeEvicted = %d, want %d (cone records must age too)", got, testSnapshot().Len())
+	}
+	if n := db.Snapshot().Len(); n != 0 {
+		t.Fatalf("%d records survived aging", n)
+	}
+}

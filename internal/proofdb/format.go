@@ -40,9 +40,19 @@ const (
 func header() string { return fmt.Sprintf("%s v%d", magic, Version) }
 
 // Record type tags.
+//
+// recConeAbduct is the v2 cone record: a proven abduct stored under a
+// cone-level cache key (Preds[0] is the target predicate ID, Preds[1:] the
+// abduct members). The header version deliberately stays at 1 — v1-era
+// readers skip the unknown type record-locally (valid() returns false for
+// types they do not know), so a store written by a cone-aware engine still
+// warm-starts an older one from its clause and verdict records, and vice
+// versa. Version is only for changes that alter the meaning of *existing*
+// record types.
 const (
-	recClause  = "clause"
-	recVerdict = "verdict"
+	recClause     = "clause"
+	recVerdict    = "verdict"
+	recConeAbduct = "coneabd"
 )
 
 // Lit is one literal of a stored clause, in canonical named form (the
@@ -65,6 +75,9 @@ type record struct {
 
 	// Verdict fields. A/B are the two independent 64-bit hashes of the
 	// abduction-query identity; OK false means "no abduct exists".
+	// Cone-abduct records reuse Preds: Preds[0] is the target predicate ID,
+	// Preds[1:] are the abduct member IDs (possibly none — an empty abduct
+	// means the target is inductive relative to nothing but itself).
 	A     uint64   `json:"a,omitempty"`
 	B     uint64   `json:"b,omitempty"`
 	OK    bool     `json:"ok,omitempty"`
@@ -88,6 +101,16 @@ func (r *record) valid() bool {
 		}
 		return true
 	case recVerdict:
+		return true
+	case recConeAbduct:
+		if len(r.Preds) == 0 {
+			return false
+		}
+		for _, p := range r.Preds {
+			if p == "" {
+				return false
+			}
+		}
 		return true
 	default:
 		return false // unknown type: skip (forward compatibility)

@@ -47,6 +47,17 @@ func FuzzProofDBRoundTrip(f *testing.F) {
 			want.Keys[0].Clauses = append(want.Keys[0].Clauses,
 				Clause{Lits: []Lit{{Name: lit1, Neg: neg}, {Name: lit2}}})
 		}
+		// v2 cone-abduct records ride along under a cone-level key, so the
+		// corruption phase below exercises mixed-version stores. An empty
+		// pred yields the empty-abduct edge case (target only).
+		abd := Abduct{Target: "t|" + pred}
+		if pred != "" {
+			abd.Preds = []string{pred}
+		}
+		want.Keys = append(want.Keys, KeyRecord{
+			Key:     "cone:" + key,
+			Abducts: []Abduct{abd},
+		})
 
 		dir := t.TempDir()
 		now := time.Unix(1_700_000_000, 0)

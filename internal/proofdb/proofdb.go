@@ -90,6 +90,7 @@ func (o *Options) now() time.Time {
 type Stats struct {
 	ClausesLoaded  int64 // clause records restored from disk at Open
 	VerdictsLoaded int64 // verdict records restored from disk at Open
+	AbductsLoaded  int64 // cone-abduct records restored from disk at Open
 	CorruptSkipped int64 // records dropped for framing/CRC/JSON/validity
 	ExpiredSkipped int64 // records dropped at load for exceeding MaxAge
 	HeaderRejected bool  // whole file rejected: missing/mismatched version
@@ -106,11 +107,13 @@ type Snapshot struct {
 	Keys []KeyRecord
 }
 
-// KeyRecord holds every persisted fact for one system identity.
+// KeyRecord holds every persisted fact for one system identity (a
+// whole-circuit key, or — for Abducts especially — a cone-level key).
 type KeyRecord struct {
 	Key      string
 	Clauses  []Clause
 	Verdicts []Verdict
+	Abducts  []Abduct
 }
 
 // Clause is one base-system learnt clause over canonical variable names.
@@ -127,6 +130,14 @@ type Verdict struct {
 	Preds []string
 }
 
+// Abduct is one proven abduct for a target predicate — the v2 cone record.
+// Unlike a Verdict it names the target directly instead of hashing the full
+// query, because it answers every query whose candidate set contains Preds.
+type Abduct struct {
+	Target string
+	Preds  []string
+}
+
 // Len returns the total number of records in the snapshot.
 func (s *Snapshot) Len() int {
 	if s == nil {
@@ -134,7 +145,7 @@ func (s *Snapshot) Len() int {
 	}
 	n := 0
 	for _, kr := range s.Keys {
-		n += len(kr.Clauses) + len(kr.Verdicts)
+		n += len(kr.Clauses) + len(kr.Verdicts) + len(kr.Abducts)
 	}
 	return n
 }
@@ -153,6 +164,7 @@ type DB struct {
 type keyState struct {
 	clauses  map[string]*clauseRec // canonical clause fingerprint → record
 	verdicts map[verdictID]*verdictRec
+	abducts  map[string]*abductDBRec // abduct signature → record
 }
 
 type verdictID struct{ a, b uint64 }
@@ -166,6 +178,25 @@ type verdictRec struct {
 	ok    bool
 	preds []string
 	at    int64
+}
+
+type abductDBRec struct {
+	target string
+	preds  []string
+	at     int64
+}
+
+// abductSignature canonicalizes one abduct's identity: the target plus the
+// member set (order-independent), so permutations dedup.
+func abductSignature(target string, preds []string) string {
+	sorted := append([]string(nil), preds...)
+	sort.Strings(sorted)
+	b := append([]byte(target), 0)
+	for _, p := range sorted {
+		b = append(b, p...)
+		b = append(b, 0)
+	}
+	return string(b)
 }
 
 // Open opens (creating if needed) the store in dir and loads its current
@@ -198,13 +229,14 @@ func (db *DB) Stats() Stats {
 	return db.stats
 }
 
-// Len returns the number of (clause, verdict) records in the model.
+// Len returns the number of (clause, verdict) records in the model; the
+// verdict count includes cone-abduct records (they are verdict-class memos).
 func (db *DB) Len() (clauses, verdicts int) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for _, ks := range db.keys {
 		clauses += len(ks.clauses)
-		verdicts += len(ks.verdicts)
+		verdicts += len(ks.verdicts) + len(ks.abducts)
 	}
 	return
 }
@@ -261,6 +293,16 @@ func (db *DB) load() error {
 				ks.verdicts[id] = &verdictRec{ok: r.OK, preds: r.Preds, at: r.At}
 			}
 			db.stats.VerdictsLoaded++
+		case recConeAbduct:
+			target, preds := r.Preds[0], r.Preds[1:]
+			if len(preds) == 0 {
+				preds = nil // canonical empty form (Merge stores nil too)
+			}
+			sig := abductSignature(target, preds)
+			if prev, dup := ks.abducts[sig]; !dup || r.At > prev.at {
+				ks.abducts[sig] = &abductDBRec{target: target, preds: preds, at: r.At}
+			}
+			db.stats.AbductsLoaded++
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -277,6 +319,7 @@ func (db *DB) keyLocked(key string) *keyState {
 		ks = &keyState{
 			clauses:  make(map[string]*clauseRec),
 			verdicts: make(map[verdictID]*verdictRec),
+			abducts:  make(map[string]*abductDBRec),
 		}
 		db.keys[key] = ks
 	}
@@ -335,6 +378,21 @@ func (db *DB) Merge(s *Snapshot) {
 				ks.verdicts[id] = &verdictRec{ok: v.OK, preds: v.Preds, at: now}
 			}
 		}
+		for _, a := range kr.Abducts {
+			if a.Target == "" {
+				continue
+			}
+			preds := a.Preds
+			if len(preds) == 0 {
+				preds = nil
+			}
+			sig := abductSignature(a.Target, preds)
+			if rec, ok := ks.abducts[sig]; ok {
+				rec.at = now
+			} else {
+				ks.abducts[sig] = &abductDBRec{target: a.Target, preds: preds, at: now}
+			}
+		}
 	}
 }
 
@@ -373,7 +431,16 @@ func (db *DB) Snapshot() *Snapshot {
 			rec := ks.verdicts[id]
 			kr.Verdicts = append(kr.Verdicts, Verdict{A: id.a, B: id.b, OK: rec.ok, Preds: rec.preds})
 		}
-		if len(kr.Clauses)+len(kr.Verdicts) > 0 {
+		sigs := make([]string, 0, len(ks.abducts))
+		for sig := range ks.abducts {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			rec := ks.abducts[sig]
+			kr.Abducts = append(kr.Abducts, Abduct{Target: rec.target, Preds: rec.preds})
+		}
+		if len(kr.Clauses)+len(kr.Verdicts)+len(kr.Abducts) > 0 {
 			out.Keys = append(out.Keys, kr)
 		}
 	}
@@ -460,7 +527,13 @@ func (db *DB) evictExpiredLocked(now time.Time) {
 				db.stats.AgeEvicted++
 			}
 		}
-		if len(ks.clauses)+len(ks.verdicts) == 0 {
+		for sig, rec := range ks.abducts {
+			if rec.at < cutoff {
+				delete(ks.abducts, sig)
+				db.stats.AgeEvicted++
+			}
+		}
+		if len(ks.clauses)+len(ks.verdicts)+len(ks.abducts) == 0 {
 			delete(db.keys, key)
 		}
 	}
@@ -513,6 +586,23 @@ func (db *DB) encodeLocked() ([]flushLine, error) {
 			}
 			lines = append(lines, flushLine{at: rec.at, data: data,
 				drop: func() { delete(ks.verdicts, id) }})
+		}
+		sigs := make([]string, 0, len(ks.abducts))
+		for sig := range ks.abducts {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			sig, rec := sig, ks.abducts[sig]
+			data, err := encodeLine(&record{
+				T: recConeAbduct, Key: key, At: rec.at,
+				Preds: append([]string{rec.target}, rec.preds...),
+			})
+			if err != nil {
+				return nil, err
+			}
+			lines = append(lines, flushLine{at: rec.at, data: data,
+				drop: func() { delete(ks.abducts, sig) }})
 		}
 	}
 	return lines, nil

@@ -10,9 +10,19 @@ import (
 	"time"
 )
 
-// testSnapshot is a small fixed snapshot exercised by most tests.
+// testSnapshot is a small fixed snapshot exercised by most tests. It mixes
+// v1 record types (clauses, verdicts) with v2 cone-abduct records — under a
+// cone-level key, as the engine writes them — so every corruption, eviction
+// and round-trip test below runs against a mixed-version store.
 func testSnapshot() *Snapshot {
 	return &Snapshot{Keys: []KeyRecord{
+		{
+			Key: "cone:00c0ffee|env0",
+			Abducts: []Abduct{
+				{Target: "t0", Preds: []string{"p1", "p2"}},
+				{Target: "t1"}, // empty abduct: inductive relative to nothing
+			},
+		},
 		{
 			Key: "fp0|env0",
 			Clauses: []Clause{
@@ -58,8 +68,9 @@ func TestRoundTrip(t *testing.T) {
 		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
 	}
 	st := db2.Stats()
-	if st.ClausesLoaded != 3 || st.VerdictsLoaded != 3 {
-		t.Fatalf("loaded clauses=%d verdicts=%d, want 3/3", st.ClausesLoaded, st.VerdictsLoaded)
+	if st.ClausesLoaded != 3 || st.VerdictsLoaded != 3 || st.AbductsLoaded != 2 {
+		t.Fatalf("loaded clauses=%d verdicts=%d abducts=%d, want 3/3/2",
+			st.ClausesLoaded, st.VerdictsLoaded, st.AbductsLoaded)
 	}
 	if st.CorruptSkipped != 0 || st.HeaderRejected {
 		t.Fatalf("clean store reported corruption: %+v", st)
@@ -126,7 +137,7 @@ func TestTruncatedFileSkipsTornRecord(t *testing.T) {
 	if st.CorruptSkipped != 1 {
 		t.Fatalf("CorruptSkipped = %d, want 1 (the torn tail record)", st.CorruptSkipped)
 	}
-	if got, want := int64(db.Snapshot().Len()), st.ClausesLoaded+st.VerdictsLoaded; got != want {
+	if got, want := int64(db.Snapshot().Len()), st.ClausesLoaded+st.VerdictsLoaded+st.AbductsLoaded; got != want {
 		t.Fatalf("model has %d records, stats say %d", got, want)
 	}
 	if db.Snapshot().Len() != testSnapshot().Len()-1 {
