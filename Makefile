@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build lint test race race-proofdb chaos bench-smoke bench bench-json bench-persist bench-sat bench-conecache ci
+.PHONY: all vet build lint test race race-proofdb chaos bench-smoke bench bench-json bench-persist bench-sat bench-conecache bench-serve ci
 
 all: build
 
@@ -31,7 +31,9 @@ race:
 # prefix so every TestConcurrent* under internal/... joins this tier
 # automatically (currently: TestConcurrentSnapshotWhileLearn and
 # TestConcurrentAttachFlushLastErr in internal/hhoudini/persist_test.go,
-# TestConcurrentMergeFlushSnapshot in internal/proofdb).
+# TestConcurrentMergeFlushSnapshot in internal/proofdb, and the
+# multi-session service-shape tests TestConcurrentMultiSession* in
+# internal/hhoudini/multisession_test.go).
 race-proofdb:
 	$(GO) test -race ./internal/proofdb/
 	$(GO) test -race -run 'TestConcurrent|TestBackgroundFlusher' ./internal/...
@@ -41,9 +43,10 @@ race-proofdb:
 # TestChaos* / TestCancel* / TestInterrupt* anywhere in the module joins
 # this tier automatically (currently: forced solver Unknowns and budget
 # escalation, injected worker panics, failed proof-store writes, stretched
-# queries, mid-Learn cancellation sweeps, and the root-package OoO
-# cancellation acceptance test). See DESIGN.md "Robustness & fault
-# isolation".
+# queries, mid-Learn cancellation sweeps, the root-package OoO
+# cancellation acceptance test, and the service layer's injected job
+# delays/failures and drain-mid-load acceptance). See DESIGN.md
+# "Robustness & fault isolation" and "Service layer".
 chaos:
 	$(GO) test -race -run 'TestChaos|TestCancel|TestInterrupt' ./...
 
@@ -85,4 +88,12 @@ bench-conecache:
 	$(GO) run ./cmd/benchjson -conecache -design small -runs 2 -out BENCH_conecache.json
 	$(GO) run ./cmd/benchjson -check BENCH_conecache.json
 
-ci: vet build lint race race-proofdb chaos bench-smoke bench-json bench-persist bench-sat bench-conecache
+# Emit and self-check the service-layer benchmark document: 8 concurrent
+# multi-tenant clients against a live HTTP server — cold vs warm-repeat job
+# latency (p50/p95), the per-job warm-answer fraction (checked >=90%), and
+# the 429 rate under a single-tenant overload burst (checked non-zero).
+bench-serve:
+	$(GO) run ./cmd/benchjson -serve -out BENCH_serve.json
+	$(GO) run ./cmd/benchjson -check BENCH_serve.json
+
+ci: vet build lint race race-proofdb chaos bench-smoke bench-json bench-persist bench-sat bench-conecache bench-serve

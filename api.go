@@ -14,6 +14,7 @@ import (
 	"hhoudini/internal/miter"
 	"hhoudini/internal/proofdb"
 	"hhoudini/internal/sat"
+	"hhoudini/internal/serve"
 	"hhoudini/internal/veloct"
 )
 
@@ -240,6 +241,10 @@ type (
 	LearnerOptions = core.Options
 )
 
+// StatsSnapshot is an atomically-consistent copy of a Stats, safe to read
+// while the learner that owns the Stats is still running (Stats.Snapshot).
+type StatsSnapshot = core.StatsSnapshot
+
 // MineOracle supplies candidate predicates per cone (Algorithm 2's role).
 type MineOracle = core.MineOracle
 
@@ -390,3 +395,37 @@ func NewAnalysis(tgt *Target, opts AnalysisOptions) (*Analysis, error) {
 
 // DefaultAnalysisOptions mirror the paper's configuration.
 func DefaultAnalysisOptions() AnalysisOptions { return veloct.DefaultOptions() }
+
+// --- Service layer --------------------------------------------------------------------
+
+// Server is the multi-tenant invariant-learning service core behind
+// cmd/veloctd: a bounded fair-share job queue in front of a worker-pool
+// executor, every job under its own deadline context, tenant-namespaced
+// cache keys, and a graceful Drain. ServerConfig tunes it; JobSpec /
+// JobView / JobServerStats are its JSON wire types.
+type (
+	Server         = serve.Server
+	ServerConfig   = serve.Config
+	JobSpec        = serve.JobSpec
+	JobView        = serve.JobView
+	JobResult      = serve.JobResult
+	JobStatsView   = serve.StatsView
+	JobServerStats = serve.ServerStats
+)
+
+// Job kinds and terminal/lifecycle states on the service wire.
+const (
+	JobKindLearn      = serve.KindLearn
+	JobKindVerify     = serve.KindVerify
+	JobKindSynthesize = serve.KindSynthesize
+
+	JobStateQueued   = serve.StateQueued
+	JobStateRunning  = serve.StateRunning
+	JobStateDone     = serve.StateDone
+	JobStateFailed   = serve.StateFailed
+	JobStateCanceled = serve.StateCanceled
+)
+
+// NewServer builds a service core and starts its executor pool. Expose it
+// over HTTP with Server.Handler; stop it with Server.Drain.
+func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }

@@ -56,6 +56,7 @@ var (
 	flagPersist = flag.Bool("persist", false, "measure the persistent proof store (warm process restored from disk) instead of the in-memory cache")
 	flagSat     = flag.Bool("sat", false, "measure raw SAT-core throughput against the recorded pre-arena seed, plus the clause-sharing ablation")
 	flagCone    = flag.Bool("conecache", false, "measure cross-design cache transfer: a proof store populated on one OoO design warm-starts its debug-counter variant via cone-fingerprint keys")
+	flagServe   = flag.Bool("serve", false, "measure the service layer over live HTTP: cold vs warm job latency, warm-answer fraction, 429 rate under overload")
 	flagCheck   = flag.String("check", "", "validate an existing bench JSON file and exit")
 )
 
@@ -122,6 +123,11 @@ func main() {
 			*flagDesign = "small" // the variant pair; execstage has none
 		}
 		rep = runCone()
+	case *flagServe:
+		if !outSet() && *flagOut == "BENCH_crossrun.json" {
+			*flagOut = "BENCH_serve.json"
+		}
+		rep = runServe()
 	default:
 		rep = run()
 	}
@@ -150,6 +156,9 @@ func main() {
 	case *coneReport:
 		fmt.Printf("benchjson: %s: %s -> %s warm fraction %.1f%%, wall -%.1f%% (%d runs)\n",
 			*flagOut, r.Donor, r.Recipient, r.WarmFractionPct, r.WallReductionPct, r.Runs)
+	case *serveReport:
+		fmt.Printf("benchjson: %s: warm p50 %.1fms vs cold %.1fms, warm fraction >= %.2f, 429 rate %.1f%%\n",
+			*flagOut, r.WarmP50Ms, r.ColdP50Ms, r.WarmFractionMin, r.Overload429Pct)
 	}
 }
 
@@ -393,6 +402,10 @@ func check(path string) {
 	}
 	if probe.Schema == coneSchema {
 		checkCone(path, raw, fail)
+		return
+	}
+	if probe.Schema == serveSchema {
+		checkServe(path, raw, fail)
 		return
 	}
 	var rep report

@@ -1,0 +1,270 @@
+package main
+
+// serve.go: the -serve mode, measuring the service layer end to end over a
+// live HTTP listener — per-job latency for a cold pass vs a warm repeat
+// pass of concurrent multi-tenant clients, the warm-answer fraction each
+// repeat job reports, and admission-control behavior (429 rate) under a
+// deliberate single-tenant overload burst. The emitted document
+// (BENCH_serve.json) is self-checked by `benchjson -check`.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"hhoudini/internal/faultinject"
+	"hhoudini/internal/serve"
+)
+
+const serveSchema = "hhoudini-bench-serve/v1"
+
+type serveReport struct {
+	Schema  string   `json:"schema"`
+	Design  string   `json:"design"`
+	Safe    []string `json:"safe"`
+	Clients int      `json:"clients"`
+	Workers int      `json:"workers"`
+	Tenants int      `json:"tenants"`
+
+	ColdP50Ms float64 `json:"cold_p50_ms"`
+	ColdP95Ms float64 `json:"cold_p95_ms"`
+	WarmP50Ms float64 `json:"warm_p50_ms"`
+	WarmP95Ms float64 `json:"warm_p95_ms"`
+
+	// WarmFractionMin/Mean summarize the per-job warm_fraction stat over
+	// the repeat pass — the floor is the acceptance bound (≥0.9).
+	WarmFractionMin  float64 `json:"warm_fraction_min"`
+	WarmFractionMean float64 `json:"warm_fraction_mean"`
+
+	// Overload burst: one tenant floods POST /v1/jobs until rejected.
+	OverloadSubmitted int     `json:"overload_submitted"`
+	Overload429s      int     `json:"overload_429s"`
+	Overload429Pct    float64 `json:"overload_429_pct"`
+
+	// Accounting: every admitted job must resolve.
+	Accepted   int64 `json:"accepted"`
+	Resolved   int64 `json:"resolved"`
+	Unresolved int64 `json:"unresolved"`
+}
+
+func runServe() *serveReport {
+	safe := defaultSafe(*flagDesign)
+	if *flagSafe != "" {
+		safe = splitCSV(*flagSafe)
+	}
+	const clients, workers = 8, 4
+	tenants := []string{"alpha", "beta"}
+
+	s := serve.New(serve.Config{Workers: workers})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := func(c int, tenant string) serve.JobSpec {
+		sp := serve.JobSpec{
+			Kind:   serve.KindVerify,
+			Design: *flagDesign,
+			Safe:   safe,
+			Tenant: tenants[c%len(tenants)],
+		}
+		if tenant != "" {
+			sp.Tenant = tenant
+		}
+		return sp
+	}
+
+	pass := func() ([]float64, []serve.JobView) {
+		lat := make([]float64, clients)
+		views := make([]serve.JobView, clients)
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				start := time.Now()
+				v, status := servePost(ts.URL, spec(c, ""))
+				if status != http.StatusCreated {
+					die(fmt.Errorf("serve bench: submit = HTTP %d", status))
+				}
+				views[c] = serveAwait(ts.URL, v.ID)
+				lat[c] = float64(time.Since(start).Microseconds()) / 1000
+				if views[c].State != serve.StateDone {
+					die(fmt.Errorf("serve bench: job %s ended %q (%s)", v.ID, views[c].State, views[c].Error))
+				}
+			}(c)
+		}
+		wg.Wait()
+		return lat, views
+	}
+
+	coldLat, _ := pass()
+	warmLat, warmViews := pass()
+
+	rep := &serveReport{
+		Schema:  serveSchema,
+		Design:  *flagDesign,
+		Safe:    safe,
+		Clients: clients,
+		Workers: workers,
+		Tenants: len(tenants),
+
+		ColdP50Ms: percentileF(coldLat, 0.50),
+		ColdP95Ms: percentileF(coldLat, 0.95),
+		WarmP50Ms: percentileF(warmLat, 0.50),
+		WarmP95Ms: percentileF(warmLat, 0.95),
+
+		WarmFractionMin: 1,
+	}
+	for _, v := range warmViews {
+		wf := 0.0
+		if v.Stats != nil {
+			wf = v.Stats.WarmFraction
+		}
+		if wf < rep.WarmFractionMin {
+			rep.WarmFractionMin = wf
+		}
+		rep.WarmFractionMean += wf / float64(len(warmViews))
+	}
+
+	// Overload: one tenant floods until admission rejects it; accepted
+	// flood jobs are awaited so the accounting below closes. The injected
+	// job delay parks the executors so the queue genuinely backs up —
+	// without it, fast designs drain as quickly as the flood submits.
+	faultinject.Arm(faultinject.JobDelay, faultinject.Spec{Count: -1, Delay: 150 * time.Millisecond})
+	var floodIDs []string
+	for i := 0; i < 64; i++ {
+		rep.OverloadSubmitted++
+		v, status := servePost(ts.URL, spec(0, "flood"))
+		if status == http.StatusTooManyRequests {
+			rep.Overload429s++
+			break
+		}
+		if status != http.StatusCreated {
+			die(fmt.Errorf("serve bench: overload submit = HTTP %d", status))
+		}
+		floodIDs = append(floodIDs, v.ID)
+	}
+	rep.Overload429Pct = 100 * float64(rep.Overload429s) / float64(rep.OverloadSubmitted)
+	faultinject.Reset()
+	for _, id := range floodIDs {
+		if v := serveAwait(ts.URL, id); v.State != serve.StateDone {
+			die(fmt.Errorf("serve bench: flood job %s ended %q", id, v.State))
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		die(err)
+	}
+	st := s.StatsPayload()
+	rep.Accepted = st.Accepted
+	rep.Resolved = st.JobsDone + st.JobsFailed + st.JobsCanceled
+	rep.Unresolved = rep.Accepted - rep.Resolved
+	return rep
+}
+
+// checkServe validates a -serve emission: sane latency rows, the ≥90%
+// warm-fraction floor, a non-zero 429 rate under the overload burst, and
+// zero unresolved jobs.
+func checkServe(path string, raw []byte, fail func(string, ...any)) {
+	var rep serveReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		die(fmt.Errorf("%s: %w", path, err))
+	}
+	if rep.Clients <= 0 || rep.Workers <= 0 {
+		fail("clients %d / workers %d", rep.Clients, rep.Workers)
+	}
+	for name, v := range map[string]float64{
+		"cold_p50_ms": rep.ColdP50Ms, "cold_p95_ms": rep.ColdP95Ms,
+		"warm_p50_ms": rep.WarmP50Ms, "warm_p95_ms": rep.WarmP95Ms,
+	} {
+		if v <= 0 {
+			fail("%s = %v, want > 0", name, v)
+		}
+	}
+	if rep.ColdP95Ms < rep.ColdP50Ms || rep.WarmP95Ms < rep.WarmP50Ms {
+		fail("p95 below p50 (cold %.1f/%.1f warm %.1f/%.1f)",
+			rep.ColdP50Ms, rep.ColdP95Ms, rep.WarmP50Ms, rep.WarmP95Ms)
+	}
+	if rep.WarmFractionMin < 0.9 {
+		fail("warm_fraction_min = %.3f, want >= 0.9", rep.WarmFractionMin)
+	}
+	if rep.Overload429s == 0 {
+		fail("overload burst produced no 429s")
+	}
+	if rep.Unresolved != 0 {
+		fail("%d accepted jobs never resolved", rep.Unresolved)
+	}
+	fmt.Printf("benchjson: %s OK (%s, warm p50 %.1fms vs cold %.1fms, warm fraction >= %.2f, 429 rate %.1f%%)\n",
+		path, rep.Design, rep.WarmP50Ms, rep.ColdP50Ms, rep.WarmFractionMin, rep.Overload429Pct)
+}
+
+// --- Small HTTP helpers (no error tolerance: a bench run must be clean) ----
+
+func servePost(url string, sp serve.JobSpec) (serve.JobView, int) {
+	body, err := json.Marshal(sp)
+	if err != nil {
+		die(err)
+	}
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		die(err)
+	}
+	defer resp.Body.Close()
+	var v serve.JobView
+	if resp.StatusCode == http.StatusCreated {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			die(err)
+		}
+	}
+	return v, resp.StatusCode
+}
+
+func serveAwait(url, id string) serve.JobView {
+	deadline := time.Now().Add(5 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/v1/jobs/" + id)
+		if err != nil {
+			die(err)
+		}
+		var v serve.JobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			die(err)
+		}
+		switch v.State {
+		case serve.StateDone, serve.StateFailed, serve.StateCanceled:
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	die(fmt.Errorf("serve bench: job %s never resolved", id))
+	return serve.JobView{}
+}
+
+func percentileF(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+func splitCSV(s string) []string {
+	parts := bytes.Split([]byte(s), []byte(","))
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if t := string(bytes.TrimSpace(p)); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,512 @@
+// Command loadgen drives a veloctd daemon with concurrent multi-tenant
+// load and asserts the service-level properties the daemon promises:
+//
+//   - every accepted job resolves (done, failed, or typed cancellation);
+//   - repeat passes over the same specs answer warm (≥ -warm-floor of
+//     abduction queries from the memo layers — the cross-run cache story
+//     under service multiplexing);
+//   - admission control holds under overload (429 + Retry-After for a
+//     flooding tenant) without starving other tenants (fair-share);
+//   - with -spawn: SIGTERM mid-load drains cleanly and the process leaks
+//     no goroutines.
+//
+// Two modes: -addr points it at a live external daemon; -spawn starts an
+// in-process daemon on a loopback listener so one process can assert
+// goroutine hygiene and signal-driven drain end to end:
+//
+//	loadgen -spawn -clients 8 -designs small,small+dbg -passes 2
+//	loadgen -spawn -sigterm-mid-load
+//	loadgen -addr http://localhost:8723 -clients 4 -designs execstage
+//
+// Exit status 0 iff every assertion held; failures print FAIL lines.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"hhoudini/internal/proofdb"
+	"hhoudini/internal/serve"
+)
+
+var (
+	flagAddr    = flag.String("addr", "", "base URL of a live veloctd (empty with -spawn)")
+	flagSpawn   = flag.Bool("spawn", false, "start an in-process daemon on a loopback listener")
+	flagClients = flag.Int("clients", 8, "concurrent clients")
+	flagDesigns = flag.String("designs", "small,small+dbg", "comma-separated designs, assigned round-robin")
+	flagTenants = flag.String("tenants", "alpha,beta", "comma-separated tenant ids, assigned round-robin")
+	flagSafe    = flag.String("safe", "add,addi,sub,xor", "safe set for verify/learn jobs")
+	flagKind    = flag.String("kind", "verify", "job kind: learn|verify|synthesize")
+	flagPasses  = flag.Int("passes", 2, "passes over the same specs (pass 1 cold, later passes warm)")
+	flagWarm    = flag.Float64("warm-floor", 0.9, "minimum warm fraction on the final pass")
+	flagTimeout = flag.Duration("job-timeout", 2*time.Minute, "per-job deadline sent with each spec")
+
+	flagServeWorkers = flag.Int("serve-workers", 4, "with -spawn: executor pool size")
+	flagCacheDir     = flag.String("cache-dir", "", "with -spawn: persist the verification cache here")
+	flagOverload     = flag.Bool("overload", true, "run the overload burst (429 + fairness assertions)")
+	flagSigterm      = flag.Bool("sigterm-mid-load", false, "with -spawn: SIGTERM the process mid-pass and assert a clean drain")
+)
+
+var failures []string
+
+func failf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	failures = append(failures, msg)
+	fmt.Println("FAIL:", msg)
+}
+
+func main() {
+	flag.Parse()
+	if *flagSpawn == (*flagAddr != "") {
+		fmt.Fprintln(os.Stderr, "loadgen: exactly one of -spawn or -addr is required")
+		os.Exit(2)
+	}
+
+	var (
+		base    string
+		srv     *serve.Server
+		httpSrv *http.Server
+		baseGor int
+		drained = make(chan struct{})
+	)
+	if *flagSpawn {
+		runtime.GC()
+		baseGor = runtime.NumGoroutine()
+		srv = serve.New(serve.Config{
+			Workers:        *flagServeWorkers,
+			CacheDir:       *flagCacheDir,
+			DefaultTimeout: *flagTimeout,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		httpSrv = &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln) //nolint:errcheck // closed via Shutdown below
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("loadgen: spawned daemon at %s (serve-workers=%d)\n", base, *flagServeWorkers)
+
+		// The spawned daemon honors SIGTERM exactly like cmd/veloctd: stop
+		// admitting, drain with a grace, flush, then close the listener.
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGTERM)
+		go func() {
+			<-sigc
+			fmt.Println("loadgen: SIGTERM received, draining")
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := srv.Drain(ctx); err != nil {
+				failf("drain: %v", err)
+			}
+			// Keep the listener up briefly so pollers observe the terminal
+			// states the drain just handed out before their GETs start failing.
+			time.Sleep(250 * time.Millisecond)
+			shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel2()
+			httpSrv.Shutdown(shutCtx) //nolint:errcheck
+			close(drained)
+		}()
+	} else {
+		base = strings.TrimRight(*flagAddr, "/")
+	}
+
+	cl := &client{base: base, http: &http.Client{Timeout: 30 * time.Second}}
+	if !cl.waitReady(5 * time.Second) {
+		fmt.Fprintln(os.Stderr, "loadgen: daemon not ready at", base)
+		os.Exit(1)
+	}
+
+	designs := splitList(*flagDesigns)
+	tenants := splitList(*flagTenants)
+	safe := splitList(*flagSafe)
+
+	interrupted := runPasses(cl, designs, tenants, safe, drained)
+
+	if *flagOverload && !interrupted {
+		runOverload(cl, designs[0], tenants, safe)
+	}
+
+	if *flagSpawn {
+		if *flagSigterm && !interrupted {
+			// No pass was interrupted (timing landed after completion);
+			// still exercise the signal path on an idle daemon.
+			syscall.Kill(os.Getpid(), syscall.SIGTERM) //nolint:errcheck
+		}
+		if *flagSigterm || interrupted {
+			<-drained
+		} else {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := srv.Drain(ctx); err != nil {
+				failf("drain: %v", err)
+			}
+			cancel()
+			shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+			httpSrv.Shutdown(shutCtx) //nolint:errcheck
+			cancel2()
+		}
+		checkGoroutines(baseGor)
+		if *flagCacheDir != "" {
+			checkProofDB(*flagCacheDir)
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Printf("loadgen: %d assertion(s) FAILED\n", len(failures))
+		os.Exit(1)
+	}
+	fmt.Println("loadgen: all assertions passed")
+}
+
+// runPasses drives -clients concurrent clients through -passes identical
+// passes and runs the latency/warmth assertions. Returns true when a drain
+// interrupted the run (SIGTERM mode): accepted jobs must still resolve,
+// but warmth is no longer asserted.
+func runPasses(cl *client, designs, tenants, safe []string, drained chan struct{}) (interrupted bool) {
+	type jobRecord struct {
+		pass    int
+		state   string
+		latency time.Duration
+		warm    float64
+		queries int64
+	}
+	var (
+		mu      sync.Mutex
+		records []jobRecord
+	)
+	for pass := 1; pass <= *flagPasses; pass++ {
+		final := pass == *flagPasses
+		if *flagSigterm && final {
+			// Fire mid-pass: give the first jobs time to be admitted, then
+			// SIGTERM while work is in flight.
+			go func() {
+				time.Sleep(150 * time.Millisecond)
+				syscall.Kill(os.Getpid(), syscall.SIGTERM) //nolint:errcheck
+			}()
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < *flagClients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				spec := serve.JobSpec{
+					Kind:      *flagKind,
+					Design:    designs[c%len(designs)],
+					Safe:      safe,
+					Tenant:    tenants[c%len(tenants)],
+					TimeoutMS: flagTimeout.Milliseconds(),
+				}
+				view, err := cl.runJob(spec)
+				if err != nil {
+					// A 503 is the drain refusing admission — expected under
+					// SIGTERM; anything else is a real failure.
+					if !strings.Contains(err.Error(), "503") {
+						failf("pass %d client %d: %v", pass, c, err)
+					}
+					return
+				}
+				rec := jobRecord{pass: pass, state: view.State, latency: view.latency}
+				if view.Stats != nil {
+					rec.warm = view.Stats.WarmFraction
+					rec.queries = view.Stats.Queries
+				}
+				mu.Lock()
+				records = append(records, rec)
+				mu.Unlock()
+				if view.State != serve.StateDone && view.State != serve.StateCanceled {
+					failf("pass %d client %d: job ended %q (error %q)", pass, c, view.State, view.Error)
+				}
+			}(c)
+		}
+		wg.Wait()
+		if *flagSigterm && final {
+			// The signal was fired mid-pass; the drain goroutine resolves
+			// every accepted job (grace, then typed cancellation) before
+			// closing drained, so this wait is the drain assertion itself.
+			<-drained
+			interrupted = true
+		}
+		label := "cold"
+		if pass > 1 {
+			label = "warm"
+		}
+		var passLat []time.Duration
+		mu.Lock()
+		for _, r := range records {
+			if r.pass == pass {
+				passLat = append(passLat, r.latency)
+			}
+		}
+		mu.Unlock()
+		fmt.Printf("pass %d (%s): %d jobs in %v, p50 %v p95 %v\n",
+			pass, label, len(passLat), time.Since(start).Round(time.Millisecond),
+			percentile(passLat, 0.50).Round(time.Millisecond),
+			percentile(passLat, 0.95).Round(time.Millisecond))
+		if interrupted {
+			fmt.Println("loadgen: pass interrupted by drain")
+			break
+		}
+	}
+
+	if !interrupted && *flagPasses > 1 {
+		mu.Lock()
+		var warmDone int
+		for _, r := range records {
+			if r.pass != *flagPasses || r.state != serve.StateDone {
+				continue
+			}
+			warmDone++
+			if r.queries > 0 && r.warm < *flagWarm {
+				failf("final pass warm fraction %.3f < floor %.3f", r.warm, *flagWarm)
+			}
+		}
+		mu.Unlock()
+		if warmDone == 0 {
+			failf("final pass completed no jobs")
+		}
+	}
+	return interrupted
+}
+
+// runOverload floods one tenant past its sub-queue cap (expecting 429 +
+// Retry-After) and asserts a different tenant is still admitted and served
+// during the flood — the fair-share property.
+func runOverload(cl *client, design string, tenants, safe []string) {
+	floodSpec := serve.JobSpec{
+		Kind: *flagKind, Design: design, Safe: safe,
+		Tenant: "flood", TimeoutMS: flagTimeout.Milliseconds(),
+	}
+	var ids []string
+	got429 := false
+	gotRetryAfter := false
+	for i := 0; i < 64; i++ {
+		view, status, retryAfter, err := cl.submit(floodSpec)
+		if err != nil {
+			failf("overload submit: %v", err)
+			return
+		}
+		if status == 429 {
+			got429 = true
+			gotRetryAfter = gotRetryAfter || retryAfter != ""
+			break
+		}
+		if status == 503 {
+			failf("overload: daemon draining mid-burst")
+			return
+		}
+		ids = append(ids, view.ID)
+	}
+	if !got429 {
+		failf("overload: no 429 after 64 submissions")
+	}
+	if got429 && !gotRetryAfter {
+		failf("overload: 429 without Retry-After")
+	}
+
+	// Fairness: another tenant must get through while the flood queue is full.
+	other := serve.JobSpec{
+		Kind: *flagKind, Design: design, Safe: safe,
+		Tenant: tenants[0], TimeoutMS: flagTimeout.Milliseconds(),
+	}
+	view, err := cl.runJob(other)
+	if err != nil {
+		failf("fairness: tenant %s rejected during flood: %v", tenants[0], err)
+	} else if view.State != serve.StateDone {
+		failf("fairness: tenant %s job ended %q during flood", tenants[0], view.State)
+	}
+
+	// The flood's accepted jobs must themselves all resolve.
+	for _, id := range ids {
+		view, err := cl.await(id)
+		if err != nil {
+			failf("overload job %s: %v", id, err)
+			continue
+		}
+		if view.State != serve.StateDone && view.State != serve.StateCanceled {
+			failf("overload job %s ended %q", id, view.State)
+		}
+	}
+	fmt.Printf("overload: %d accepted, 429 observed with Retry-After, fairness held\n", len(ids))
+}
+
+// checkGoroutines asserts the process returned to its pre-daemon goroutine
+// count (small slack for runtime helpers), retrying briefly: worker exits
+// are asynchronous with Drain's return.
+func checkGoroutines(baseline int) {
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for {
+		runtime.GC()
+		n = runtime.NumGoroutine()
+		if n <= baseline+2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n > baseline+2 {
+		failf("goroutine leak: %d now vs %d baseline", n, baseline)
+		buf := make([]byte, 1<<16)
+		os.Stderr.Write(buf[:runtime.Stack(buf, true)])
+	} else {
+		fmt.Printf("goroutines: %d baseline, %d after drain (no leak)\n", baseline, n)
+	}
+}
+
+// checkProofDB reopens the persisted store and asserts it loads without
+// corruption (the drain's flush must leave a readable snapshot).
+func checkProofDB(dir string) {
+	st, err := proofdb.Open(dir, proofdb.Options{})
+	if err != nil {
+		failf("proofdb reload: %v", err)
+		return
+	}
+	defer st.Close()
+	stats := st.Stats()
+	if stats.CorruptSkipped > 0 || stats.HeaderRejected {
+		failf("proofdb reload: %d corrupt records (header rejected: %v)",
+			stats.CorruptSkipped, stats.HeaderRejected)
+	} else {
+		fmt.Printf("proofdb: reloaded clean (%d clause / %d verdict / %d abduct records)\n",
+			stats.ClausesLoaded, stats.VerdictsLoaded, stats.AbductsLoaded)
+	}
+}
+
+// --- HTTP client -------------------------------------------------------------
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+// jobView mirrors serve.JobView plus the client-side latency measurement.
+type jobView struct {
+	serve.JobView
+	latency time.Duration
+}
+
+func (c *client) waitReady(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		resp, err := c.http.Get(c.base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return true
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return false
+}
+
+// submit POSTs a spec; a 429/503 is reported via status, not error.
+func (c *client) submit(spec serve.JobSpec) (*jobView, int, string, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	resp, err := c.http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, "", err
+	}
+	defer resp.Body.Close()
+	retryAfter := resp.Header.Get("Retry-After")
+	if resp.StatusCode == 429 || resp.StatusCode == 503 {
+		return nil, resp.StatusCode, retryAfter, nil
+	}
+	if resp.StatusCode != 201 {
+		return nil, resp.StatusCode, retryAfter, fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v.JobView); err != nil {
+		return nil, resp.StatusCode, retryAfter, err
+	}
+	return &v, resp.StatusCode, retryAfter, nil
+}
+
+// runJob submits (retrying politely on 429) and waits for a terminal state.
+func (c *client) runJob(spec serve.JobSpec) (*jobView, error) {
+	start := time.Now()
+	var v *jobView
+	for attempt := 0; ; attempt++ {
+		got, status, _, err := c.submit(spec)
+		if err != nil {
+			return nil, err
+		}
+		if status == 503 {
+			return nil, fmt.Errorf("submit: HTTP 503 (draining)")
+		}
+		if status == 429 {
+			if attempt > 400 {
+				return nil, fmt.Errorf("submit: still 429 after %d retries", attempt)
+			}
+			time.Sleep(25 * time.Millisecond)
+			continue
+		}
+		v = got
+		break
+	}
+	final, err := c.await(v.ID)
+	if err != nil {
+		return nil, err
+	}
+	final.latency = time.Since(start)
+	return final, nil
+}
+
+// await polls a job until it reaches a terminal state.
+func (c *client) await(id string) (*jobView, error) {
+	for {
+		resp, err := c.http.Get(c.base + "/v1/jobs/" + id)
+		if err != nil {
+			return nil, err
+		}
+		var v jobView
+		err = json.NewDecoder(resp.Body).Decode(&v.JobView)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch v.State {
+		case serve.StateDone, serve.StateFailed, serve.StateCanceled:
+			return &v, nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// --- Small helpers -----------------------------------------------------------
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func percentile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

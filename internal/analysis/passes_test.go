@@ -21,6 +21,7 @@ func TestGoldenPasses(t *testing.T) {
 		{"flusherr", 2},
 		{"lockscope", 2},
 		{"panicscope", 2},
+		{"servectx", 3},
 		{"suppress", 2},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,70 @@
+// Package servectx pins the service-handler idiom the serve package must
+// follow (the panicscope contract at the HTTP layer): a request context is
+// threaded into the learner as the first parameter and never parked in a
+// struct field — a stored context outlives its cancellation scope, which
+// breaks the drain protocol (cancel must reach live solvers). Storing the
+// CancelFunc is the sanctioned alternative and must stay clean.
+package servectx
+
+import "context"
+
+// learner stands in for the core learner API the handlers drive.
+type learner struct{}
+
+// LearnCtx models the deadline-threading entry point: context first.
+func (l *learner) LearnCtx(ctx context.Context, preds []string) error {
+	_ = ctx
+	_ = preds
+	return nil
+}
+
+// goodServer is the sanctioned shape: no context fields; the drain path
+// keeps CancelFuncs (not contexts) so cancellation can be fired later.
+type goodServer struct {
+	cancels map[string]context.CancelFunc // ok: CancelFunc storage is sanctioned
+}
+
+// goodExecute creates the deadline context on the executor's stack and
+// threads it straight into LearnCtx.
+func goodExecute(ctx context.Context, s *goodServer, l *learner) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	s.cancels["job"] = cancel
+	return l.LearnCtx(ctx, nil)
+}
+
+// badJob parks the request context for a later goroutine — exactly the
+// shape that detaches a running job from the drain's cancellation.
+type badJob struct {
+	ctx context.Context // want "context.Context stored in a struct field"
+	id  string
+}
+
+// badHandler takes its context in the wrong slot, so the idiom "first arg
+// flows to LearnCtx" silently breaks at every call site.
+func badHandler(j *badJob, ctx context.Context) error { // want "context.Context must be the first parameter"
+	l := &learner{}
+	return l.LearnCtx(ctx, []string{j.id})
+}
+
+// badRecover: handlers are not panic boundaries; only the marked executor
+// entry point may contain the recover.
+func badRecover(ctx context.Context, l *learner) (err error) {
+	defer func() {
+		if r := recover(); r != nil { // want "recover\\(\\) outside a designated panic boundary"
+			err = nil
+		}
+	}()
+	return l.LearnCtx(ctx, nil)
+}
+
+// runJob is the one sanctioned boundary, mirroring the executor's worker
+// entry point. (hhlint:panic-boundary)
+func runJob(ctx context.Context, l *learner) (err error) {
+	defer func() {
+		if r := recover(); r != nil { // ok: the decl carries the marker
+			err = nil
+		}
+	}()
+	return l.LearnCtx(ctx, nil)
+}

@@ -47,6 +47,16 @@ const (
 	// QueryDelay stretches each abduction query by the armed Delay,
 	// widening the cancellation races the chaos tier exercises.
 	QueryDelay = "hhoudini.query.delay"
+	// JobDelay stretches one accepted service job by the armed Delay
+	// before it starts executing — the HTTP-level slow-job fault. It
+	// widens drain/cancellation races: a job can sit admitted-but-unrun
+	// while SIGTERM or its own deadline arrives.
+	JobDelay = "serve.job.delay"
+	// JobFail fails one accepted service job with the armed error at the
+	// execution boundary (after dequeue, before the learner runs): the
+	// job must resolve as failed — never wedge the worker or leak its
+	// slot — and the daemon must keep serving.
+	JobFail = "serve.job.fail"
 )
 
 // ErrInjected is the default error delivered by error-type points armed

@@ -46,6 +46,15 @@ type VerifyCache struct {
 	entries map[string]*cacheEntry
 	useSeq  uint64 // global LRU clock
 
+	// curRecords/curBytes are the durable-layer footprint (stored clauses,
+	// verdicts, abducts), maintained incrementally by every mutation under
+	// vc.mu so Len/Bytes are O(1); bytesHighWater tracks the largest
+	// curBytes ever observed (never reset — the capacity-planning gauge the
+	// service reports).
+	curRecords     int
+	curBytes       int64
+	bytesHighWater int64
+
 	clauseBudget int64 // max summed encoded clauses across cached encoders
 	maxKeys      int
 	maxStore     int // max clauses in one key's clause store
@@ -56,6 +65,7 @@ type VerifyCache struct {
 	encoderMisses int64
 	checkins      int64
 	evictions     int64
+	keyEvictions  int64
 	verdictHits   int64
 	verdictMisses int64
 	abductHits    int64
@@ -97,7 +107,19 @@ const (
 )
 
 type cacheEntry struct {
-	lastUse  uint64
+	lastUse uint64
+	// pins counts live sessions holding solver state checked out under this
+	// key (encoder pool attachments). A pinned entry is exempt from whole-
+	// key LRU eviction: retiring it mid-job would reset the append-only
+	// clause store a checked-out encoder indexes by position (silently
+	// disabling replay for the rest of the job) and discard verdicts the
+	// session is still warm on. Unpin happens at pool retirement.
+	pins int
+	// bytes/records mirror this entry's share of the cache's durable
+	// footprint (clauses, verdicts, abducts, key string), maintained by the
+	// add paths so whole-key eviction can decrement in O(1).
+	bytes    int64
+	records  int
 	encoders map[uint64]*cachedEncoder // cone key → retired pooled encoder
 
 	clauses   []storedClause
@@ -177,6 +199,7 @@ type CacheCounters struct {
 	EncoderMisses int64 // checkout attempts that found no cached encoder
 	Checkins      int64 // encoders retired into the cache
 	Evictions     int64 // encoders dropped by LRU/budget pressure
+	KeyEvictions  int64 // whole keys (clause store + memos) dropped by key-LRU pressure
 	VerdictHits   int64 // whole abduction queries answered from the memo
 	VerdictMisses int64
 	AbductHits    int64 // queries answered by the subset-abduct memo
@@ -189,19 +212,24 @@ type CacheCounters struct {
 	DiskVerdictHits    int64 // verdict hits answered by restored memos
 	DiskFlushes        int64 // snapshots of this cache merged into a store
 
-	// Introspection (computed at snapshot time; see Len and Bytes).
+	// Introspection (see Len and Bytes; maintained incrementally).
 	Entries     int64 // durable records held: stored clauses + verdicts
 	ApproxBytes int64 // approximate heap bytes of the durable layers
+	// BytesHighWater is the largest ApproxBytes this cache ever reached —
+	// eviction keeps the live figure bounded, so capacity planning needs
+	// the peak, not the current value.
+	BytesHighWater int64
 }
 
 // Counters returns a point-in-time snapshot of the cache counters.
 func (vc *VerifyCache) Counters() CacheCounters {
-	entries, bytes := vc.lenBytes()
+	entries, bytes, hw := vc.footprint()
 	return CacheCounters{
 		EncoderHits:   atomic.LoadInt64(&vc.encoderHits),
 		EncoderMisses: atomic.LoadInt64(&vc.encoderMisses),
 		Checkins:      atomic.LoadInt64(&vc.checkins),
 		Evictions:     atomic.LoadInt64(&vc.evictions),
+		KeyEvictions:  atomic.LoadInt64(&vc.keyEvictions),
 		VerdictHits:   atomic.LoadInt64(&vc.verdictHits),
 		VerdictMisses: atomic.LoadInt64(&vc.verdictMisses),
 		AbductHits:    atomic.LoadInt64(&vc.abductHits),
@@ -213,67 +241,111 @@ func (vc *VerifyCache) Counters() CacheCounters {
 		DiskVerdictHits:    atomic.LoadInt64(&vc.diskVerdictHits),
 		DiskFlushes:        atomic.LoadInt64(&vc.diskFlushes),
 
-		Entries:     int64(entries),
-		ApproxBytes: bytes,
+		Entries:        int64(entries),
+		ApproxBytes:    bytes,
+		BytesHighWater: hw,
 	}
 }
 
 // Len returns the number of durable records the cache currently holds —
-// stored learnt clauses plus memoized verdicts across every key. Pooled
-// encoders are not counted: they are transient solver state, bounded
-// separately by the clause budget.
+// stored learnt clauses plus memoized verdicts and abducts across every
+// key. Pooled encoders are not counted: they are transient solver state,
+// bounded separately by the clause budget. O(1): the figure is maintained
+// incrementally by every mutation.
 func (vc *VerifyCache) Len() int {
-	n, _ := vc.lenBytes()
+	n, _, _ := vc.footprint()
 	return n
 }
 
 // Bytes returns an approximation of the heap footprint of the durable
-// layers (clause stores and verdict memos). The estimate counts string
-// payloads plus fixed per-record overheads; it exists so eviction behavior
-// is observable, not as an accounting guarantee.
+// layers (clause stores, verdict and abduct memos). The estimate counts
+// string payloads plus fixed per-record overheads; it exists so eviction
+// behavior is observable, not as an accounting guarantee. O(1).
 func (vc *VerifyCache) Bytes() int64 {
-	_, b := vc.lenBytes()
+	_, b, _ := vc.footprint()
 	return b
 }
 
-// lenBytes computes Len and Bytes in one pass under the lock.
-func (vc *VerifyCache) lenBytes() (int, int64) {
-	const (
-		litOverhead     = 24 // NamedLit struct: string header + bool + pad
-		clauseOverhead  = 32 // storedClause + slice header + map entry share
-		verdictOverhead = 64 // verdictKey + verdictVal + map entry share
-	)
+// Per-record byte-estimate overheads (see Bytes).
+const (
+	litOverhead     = 24 // NamedLit struct: string header + bool + pad
+	clauseOverhead  = 32 // storedClause + slice header + map entry share
+	verdictOverhead = 64 // verdictKey + verdictVal + map entry share
+)
+
+// clauseBytes estimates the heap footprint of one stored clause.
+func clauseBytes(lits []circuit.NamedLit) int64 {
+	b := int64(clauseOverhead)
+	for _, nl := range lits {
+		b += litOverhead + int64(len(nl.Name))
+	}
+	return b
+}
+
+// verdictBytes estimates the heap footprint of one memoized verdict.
+func verdictBytes(val verdictVal) int64 {
+	b := int64(verdictOverhead)
+	for _, id := range val.preds {
+		b += 16 + int64(len(id))
+	}
+	return b
+}
+
+// abductBytes estimates the heap footprint of one abduct record.
+func abductBytes(r abductRec) int64 {
+	b := verdictOverhead + int64(len(r.sig))
+	for _, id := range r.preds {
+		b += 16 + int64(len(id))
+	}
+	return b
+}
+
+// footprint reads the incrementally maintained aggregates under the lock.
+func (vc *VerifyCache) footprint() (int, int64, int64) {
 	vc.mu.Lock()
 	defer vc.mu.Unlock()
-	n := 0
-	var bytes int64
-	for key, e := range vc.entries {
-		bytes += int64(len(key))
-		n += len(e.clauses) + len(e.verdicts)
-		for _, sc := range e.clauses {
-			bytes += clauseOverhead
-			for _, nl := range sc.lits {
-				bytes += litOverhead + int64(len(nl.Name))
-			}
-		}
-		for _, val := range e.verdicts {
-			bytes += verdictOverhead
-			for _, id := range val.preds {
-				bytes += 16 + int64(len(id))
-			}
-		}
-		for tid, recs := range e.abducts {
-			n += len(recs)
-			bytes += int64(len(tid))
-			for _, r := range recs {
-				bytes += verdictOverhead + int64(len(r.sig))
-				for _, id := range r.preds {
-					bytes += 16 + int64(len(id))
-				}
-			}
-		}
+	return vc.curRecords, vc.curBytes, vc.bytesHighWater
+}
+
+// creditLocked charges a footprint delta to an entry and the cache-wide
+// aggregates, advancing the high-water mark on growth. Caller holds vc.mu.
+// Deltas are negative on whole-key eviction.
+func (vc *VerifyCache) creditLocked(e *cacheEntry, records int, bytes int64) {
+	e.records += records
+	e.bytes += bytes
+	vc.curRecords += records
+	vc.curBytes += bytes
+	if vc.curBytes > vc.bytesHighWater {
+		vc.bytesHighWater = vc.curBytes
 	}
-	return n, bytes
+}
+
+// --- Key pinning -------------------------------------------------------------
+
+// pin marks key as held by a live session (an encoder pool that has solver
+// state checked out, or freshly built, under it): the entry is exempt from
+// whole-key LRU eviction until the matching unpin. Pins nest.
+func (vc *VerifyCache) pin(key string) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	e := vc.entryLocked(key)
+	e.pins++
+}
+
+// unpin releases one pin on key. The entry becomes evictable again when
+// every holder has released; the deferred key-budget check runs immediately
+// so a burst of pinned keys beyond maxKeys drains as sessions retire.
+func (vc *VerifyCache) unpin(key string) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	e, ok := vc.entries[key]
+	if !ok || e.pins == 0 {
+		return
+	}
+	e.pins--
+	if e.pins == 0 {
+		vc.evictKeysLocked()
+	}
 }
 
 // String renders the counters for tool output.
@@ -291,12 +363,22 @@ func (vc *VerifyCache) String() string {
 	return s + "}"
 }
 
-// Reset drops every cached entry (counters are preserved). Intended for
-// tests and long-lived services that change workloads.
+// Reset drops every cached entry except those pinned by a live session
+// (counters and the bytes high-water are preserved). Intended for tests and
+// long-lived services that change workloads; dropping a pinned key would
+// orphan checked-out solver state, so those survive until their sessions
+// retire.
 func (vc *VerifyCache) Reset() {
 	vc.mu.Lock()
 	defer vc.mu.Unlock()
-	vc.entries = make(map[string]*cacheEntry)
+	for k, e := range vc.entries {
+		if e.pins > 0 {
+			continue
+		}
+		vc.curRecords -= e.records
+		vc.curBytes -= e.bytes
+		delete(vc.entries, k)
+	}
 }
 
 // entryLocked returns (creating if needed) the entry for key and touches
@@ -311,6 +393,7 @@ func (vc *VerifyCache) entryLocked(key string) *cacheEntry {
 			abducts:   make(map[string][]abductRec),
 		}
 		vc.entries[key] = e
+		vc.creditLocked(e, 0, int64(len(key))) // key string + map slot share
 		vc.evictKeysLocked()
 	}
 	vc.useSeq++
@@ -318,18 +401,32 @@ func (vc *VerifyCache) entryLocked(key string) *cacheEntry {
 	return e
 }
 
-// evictKeysLocked drops whole least-recently-used keys beyond maxKeys.
+// evictKeysLocked drops whole least-recently-used unpinned keys beyond
+// maxKeys. Entries pinned by a live session are never victims — retiring
+// one mid-job would reset the append-only clause store its checked-out
+// encoders index by position (silently disabling replay for the rest of
+// the job). If every entry is pinned the map is allowed to exceed maxKeys
+// transiently; unpin re-runs this check as sessions retire.
 func (vc *VerifyCache) evictKeysLocked() {
 	for len(vc.entries) > vc.maxKeys {
 		var victim string
+		var victimE *cacheEntry
 		var oldest uint64 = ^uint64(0)
 		for k, e := range vc.entries {
+			if e.pins > 0 {
+				continue
+			}
 			if e.lastUse < oldest {
-				oldest, victim = e.lastUse, k
+				oldest, victim, victimE = e.lastUse, k, e
 			}
 		}
-		e := vc.entries[victim]
-		atomic.AddInt64(&vc.evictions, int64(len(e.encoders)))
+		if victimE == nil {
+			return
+		}
+		atomic.AddInt64(&vc.evictions, int64(len(victimE.encoders)))
+		atomic.AddInt64(&vc.keyEvictions, 1)
+		vc.curRecords -= victimE.records
+		vc.curBytes -= victimE.bytes
 		delete(vc.entries, victim)
 	}
 }
@@ -374,6 +471,7 @@ func (vc *VerifyCache) checkin(key string, cone uint64, pe *pooledEncoder, stats
 	for _, cl := range exported {
 		if e.addClauseLocked(cl, vc.maxStore) {
 			stored++
+			vc.creditLocked(e, 1, clauseBytes(cl))
 		}
 	}
 	atomic.AddInt64(&vc.clausesStored, int64(stored))
@@ -602,12 +700,15 @@ func (vc *VerifyCache) storeVerdict(key string, vk verdictKey, res abductResult)
 	vc.mu.Lock()
 	defer vc.mu.Unlock()
 	e := vc.entryLocked(key)
-	if len(e.verdicts) >= vc.maxVerdicts {
-		if _, exists := e.verdicts[vk]; !exists {
-			return // memo full; favor the working set already present
-		}
+	old, exists := e.verdicts[vk]
+	if !exists && len(e.verdicts) >= vc.maxVerdicts {
+		return // memo full; favor the working set already present
+	}
+	if exists {
+		vc.creditLocked(e, -1, -verdictBytes(old))
 	}
 	e.verdicts[vk] = val
+	vc.creditLocked(e, 1, verdictBytes(val))
 }
 
 // --- Subset-abduct memo -----------------------------------------------------
@@ -693,7 +794,10 @@ func (vc *VerifyCache) storeAbduct(key string, target Pred, res abductResult) {
 	vc.mu.Lock()
 	defer vc.mu.Unlock()
 	e := vc.entryLocked(key)
-	e.addAbductLocked(target.ID(), ids, false)
+	if e.addAbductLocked(target.ID(), ids, false) {
+		recs := e.abducts[target.ID()]
+		vc.creditLocked(e, 1, abductBytes(recs[len(recs)-1]))
+	}
 }
 
 // addAbductLocked dedups and appends one abduct record; reports whether it
@@ -811,6 +915,7 @@ func (vc *VerifyCache) Restore(s *proofdb.Snapshot) (clauses, verdicts int) {
 			}
 			if e.addClauseLocked(lits, vc.maxStore) {
 				clauses++
+				vc.creditLocked(e, 1, clauseBytes(lits))
 			}
 		}
 		for _, v := range kr.Verdicts {
@@ -821,11 +926,13 @@ func (vc *VerifyCache) Restore(s *proofdb.Snapshot) (clauses, verdicts int) {
 			if len(e.verdicts) >= vc.maxVerdicts {
 				continue
 			}
-			e.verdicts[vk] = verdictVal{
+			val := verdictVal{
 				ok:       v.OK,
 				preds:    append([]string(nil), v.Preds...),
 				fromDisk: true,
 			}
+			e.verdicts[vk] = val
+			vc.creditLocked(e, 1, verdictBytes(val))
 			verdicts++
 		}
 		for _, a := range kr.Abducts {
@@ -833,6 +940,8 @@ func (vc *VerifyCache) Restore(s *proofdb.Snapshot) (clauses, verdicts int) {
 				continue
 			}
 			if e.addAbductLocked(a.Target, a.Preds, true) {
+				recs := e.abducts[a.Target]
+				vc.creditLocked(e, 1, abductBytes(recs[len(recs)-1]))
 				verdicts++
 			}
 		}

@@ -1,0 +1,125 @@
+package hhoudini
+
+import "testing"
+
+// cache_pin_test.go: the key-pinning contract that makes whole-key LRU
+// eviction safe under the service layer — a key with a live encoder
+// checkout is never retired mid-job (retiring would reset the append-only
+// clause store a checked-out encoder indexes by position), and the
+// footprint/eviction counters the /v1/stats surface reports stay coherent.
+
+func (vc *VerifyCache) hasKey(key string) bool {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	_, ok := vc.entries[key]
+	return ok
+}
+
+func storeDummyVerdicts(vc *VerifyCache, n int) {
+	vk := verdictKeyFor(regEq{reg: "A", val: 1}, nil, true)
+	for i := 0; i < n; i++ {
+		vc.storeVerdict(string(rune('a'+i%26))+string(rune('0'+i/26%10))+string(rune('0'+i/260)), vk, abductResult{ok: false})
+	}
+}
+
+func TestVerifyCachePinBlocksEviction(t *testing.T) {
+	vc := NewVerifyCache()
+	vk := verdictKeyFor(regEq{reg: "A", val: 1}, nil, true)
+
+	vc.storeVerdict("held", vk, abductResult{ok: false})
+	vc.pin("held")
+
+	// Flood far past maxKeys: LRU pressure must retire unpinned keys (the
+	// counter proves it) while the pinned one — oldest of all — survives.
+	storeDummyVerdicts(vc, defaultCacheMaxKeys*2)
+	if !vc.hasKey("held") {
+		t.Fatal("pinned key evicted under LRU pressure")
+	}
+	c := vc.Counters()
+	if c.KeyEvictions == 0 {
+		t.Fatal("flood past maxKeys evicted nothing")
+	}
+
+	// Unpin: the key becomes evictable again and (being least-recent) is
+	// the next victim once pressure re-runs.
+	vc.unpin("held")
+	vc.mu.Lock()
+	n := len(vc.entries)
+	vc.mu.Unlock()
+	if n > defaultCacheMaxKeys {
+		t.Fatalf("cache holds %d keys after unpin, budget is %d", n, defaultCacheMaxKeys)
+	}
+
+	// Unpinning an unknown or already-unpinned key must be a no-op.
+	vc.unpin("held")
+	vc.unpin("never-seen")
+}
+
+func TestVerifyCachePinNests(t *testing.T) {
+	vc := NewVerifyCache()
+	vk := verdictKeyFor(regEq{reg: "A", val: 1}, nil, true)
+	vc.storeVerdict("held", vk, abductResult{ok: false})
+	vc.pin("held")
+	vc.pin("held") // two sessions holding checkouts of the same key
+	vc.unpin("held")
+	storeDummyVerdicts(vc, defaultCacheMaxKeys*2)
+	if !vc.hasKey("held") {
+		t.Fatal("key with one remaining pin was evicted")
+	}
+	vc.unpin("held")
+}
+
+func TestVerifyCacheResetPreservesPinned(t *testing.T) {
+	vc := NewVerifyCache()
+	vk := verdictKeyFor(regEq{reg: "A", val: 1}, nil, true)
+	vc.storeVerdict("held", vk, abductResult{ok: false})
+	vc.storeVerdict("loose", vk, abductResult{ok: false})
+	vc.pin("held")
+
+	vc.Reset()
+	if !vc.hasKey("held") {
+		t.Fatal("Reset dropped a pinned key (a live checkout now indexes a reset store)")
+	}
+	if vc.hasKey("loose") {
+		t.Fatal("Reset kept an unpinned key")
+	}
+	vc.unpin("held")
+}
+
+func TestVerifyCacheFootprintCounters(t *testing.T) {
+	vc := NewVerifyCache()
+	c0 := vc.Counters()
+	if c0.ApproxBytes != 0 || c0.BytesHighWater != 0 || c0.Entries != 0 {
+		t.Fatalf("fresh cache reports footprint %+v", c0)
+	}
+
+	storeDummyVerdicts(vc, 10)
+	c1 := vc.Counters()
+	if c1.Entries != 10 || c1.ApproxBytes <= 0 {
+		t.Fatalf("after 10 keys: entries %d bytes %d", c1.Entries, c1.ApproxBytes)
+	}
+	if c1.BytesHighWater < c1.ApproxBytes {
+		t.Fatalf("high-water %d below live footprint %d", c1.BytesHighWater, c1.ApproxBytes)
+	}
+
+	// Overwriting a verdict must not double-count its bytes.
+	vk := verdictKeyFor(regEq{reg: "A", val: 1}, nil, true)
+	vc.storeVerdict("a00", vk, abductResult{ok: true})
+	c2 := vc.Counters()
+	if c2.Entries != 10 || c2.ApproxBytes != c1.ApproxBytes {
+		t.Fatalf("overwrite changed footprint: %d → %d bytes", c1.ApproxBytes, c2.ApproxBytes)
+	}
+
+	// Eviction debits the live footprint but never the high-water mark.
+	storeDummyVerdicts(vc, defaultCacheMaxKeys*2)
+	c3 := vc.Counters()
+	if c3.KeyEvictions == 0 {
+		t.Fatal("no evictions under flood")
+	}
+	if c3.BytesHighWater < c3.ApproxBytes {
+		t.Fatalf("high-water %d below live %d after evictions", c3.BytesHighWater, c3.ApproxBytes)
+	}
+	if c3.BytesHighWater < c1.BytesHighWater {
+		t.Fatalf("high-water went backwards: %d → %d", c1.BytesHighWater, c3.BytesHighWater)
+	}
+}

@@ -188,6 +188,9 @@ type Stats struct {
 	QueryRetries        int64
 	QueryBudgetAbandons int64
 
+	// WallTime accumulates Learn wall-clock time. It is written under the
+	// Stats mutex (addWall) so Snapshot can observe it race-free while a
+	// Learn is still running; plain reads remain fine once Learn returns.
 	WallTime time.Duration
 
 	mu         sync.Mutex
@@ -197,6 +200,102 @@ type Stats struct {
 	// the wall time an execution with unbounded workers could not go below
 	// (the paper's "parallel span", Fig. 2/3).
 	span time.Duration
+}
+
+// StatsSnapshot is an atomic, copy-out view of a Stats instrument set. It
+// exists for readers that observe a *live* learner — the service layer
+// reports per-job and global counters while Learn is still running — where
+// plain reads of the counter fields would race the workers' atomic.Adds.
+// Every counter is captured with an atomic load and the lock-guarded
+// aggregates (wall time, span, query/task totals) under the Stats mutex, so
+// a snapshot is internally consistent enough for reporting: each field is a
+// value the learner really published, though fields may be skewed by the
+// work that happened between loads.
+type StatsSnapshot struct {
+	Tasks      int64
+	Backtracks int64
+	Queries    int64
+
+	EncodedGates   int64
+	EncodedClauses int64
+	SolverAllocs   int64
+	PoolReuses     int64
+
+	CacheEncoderHits     int64
+	CacheEncoderMisses   int64
+	CacheVerdictHits     int64
+	CacheClausesReplayed int64
+	CacheClausesExported int64
+	CacheEvictions       int64
+	CacheAbductHits      int64
+
+	CacheDiskHits    int64
+	CacheDiskLoads   int64
+	CacheDiskFlushes int64
+	CacheEntries     int64
+	CacheBytes       int64
+
+	ShareExported   int64
+	ShareImported   int64
+	SolverConflicts int64
+
+	QueryRetries        int64
+	QueryBudgetAbandons int64
+
+	WallTime time.Duration
+	Span     time.Duration
+	// TotalQueryTime / TotalTaskTime are the summed per-query and per-task
+	// durations at snapshot time (the Stats accessor methods, frozen).
+	TotalQueryTime time.Duration
+	TotalTaskTime  time.Duration
+}
+
+// Snapshot captures every counter with atomic loads and the lock-guarded
+// aggregates under the mutex. Safe to call at any time, including while
+// Learn is running on other goroutines.
+func (s *Stats) Snapshot() StatsSnapshot {
+	snap := StatsSnapshot{
+		Tasks:      atomic.LoadInt64(&s.Tasks),
+		Backtracks: atomic.LoadInt64(&s.Backtracks),
+		Queries:    atomic.LoadInt64(&s.Queries),
+
+		EncodedGates:   atomic.LoadInt64(&s.EncodedGates),
+		EncodedClauses: atomic.LoadInt64(&s.EncodedClauses),
+		SolverAllocs:   atomic.LoadInt64(&s.SolverAllocs),
+		PoolReuses:     atomic.LoadInt64(&s.PoolReuses),
+
+		CacheEncoderHits:     atomic.LoadInt64(&s.CacheEncoderHits),
+		CacheEncoderMisses:   atomic.LoadInt64(&s.CacheEncoderMisses),
+		CacheVerdictHits:     atomic.LoadInt64(&s.CacheVerdictHits),
+		CacheClausesReplayed: atomic.LoadInt64(&s.CacheClausesReplayed),
+		CacheClausesExported: atomic.LoadInt64(&s.CacheClausesExported),
+		CacheEvictions:       atomic.LoadInt64(&s.CacheEvictions),
+		CacheAbductHits:      atomic.LoadInt64(&s.CacheAbductHits),
+
+		CacheDiskHits:    atomic.LoadInt64(&s.CacheDiskHits),
+		CacheDiskLoads:   atomic.LoadInt64(&s.CacheDiskLoads),
+		CacheDiskFlushes: atomic.LoadInt64(&s.CacheDiskFlushes),
+		CacheEntries:     atomic.LoadInt64(&s.CacheEntries),
+		CacheBytes:       atomic.LoadInt64(&s.CacheBytes),
+
+		ShareExported:   atomic.LoadInt64(&s.ShareExported),
+		ShareImported:   atomic.LoadInt64(&s.ShareImported),
+		SolverConflicts: atomic.LoadInt64(&s.SolverConflicts),
+
+		QueryRetries:        atomic.LoadInt64(&s.QueryRetries),
+		QueryBudgetAbandons: atomic.LoadInt64(&s.QueryBudgetAbandons),
+	}
+	s.mu.Lock()
+	snap.WallTime = s.WallTime
+	snap.Span = s.span
+	for _, d := range s.queryTimes {
+		snap.TotalQueryTime += d
+	}
+	for _, d := range s.taskTimes {
+		snap.TotalTaskTime += d
+	}
+	s.mu.Unlock()
+	return snap
 }
 
 // statsPrealloc is the initial capacity of the per-query/per-task time
@@ -227,6 +326,14 @@ func (s *Stats) TotalTaskTime() time.Duration {
 		total += d
 	}
 	return total
+}
+
+// addWall folds one Learn's wall time into WallTime under the mutex, so a
+// concurrent Snapshot never races the write.
+func (s *Stats) addWall(d time.Duration) {
+	s.mu.Lock()
+	s.WallTime += d
+	s.mu.Unlock()
 }
 
 func (s *Stats) recordQuery(d time.Duration) {
@@ -496,7 +603,7 @@ func (l *Learner) Learn(targets []Pred) (*Invariant, error) {
 // once cancelled it cannot be reused.
 func (l *Learner) LearnCtx(ctx context.Context, targets []Pred) (*Invariant, error) {
 	start := time.Now()
-	defer func() { l.stats.WallTime += time.Since(start) }()
+	defer func() { l.stats.addWall(time.Since(start)) }()
 	defer l.finishPersist()
 
 	if err := ctx.Err(); err != nil {

@@ -38,6 +38,12 @@ type encoderPool struct {
 	// isolated (the pre-cache PR 1 behaviour).
 	cache *VerifyCache
 	key   string
+	// pinned tracks every cache key this pool has live solver state under.
+	// Each key is pinned in the cache on first use (checkout or fresh build)
+	// so whole-key LRU eviction can never retire it mid-job — eviction would
+	// reset the append-only clause store pe.imported indexes by position —
+	// and unpinned in one batch at retire().
+	pinned map[string]bool
 
 	// coneIdent, when set (Options.ConeLevelCache), maps a target to its
 	// cone-level cache key and the register support identifying the cone.
@@ -155,6 +161,13 @@ func (pl *encoderPool) get(target Pred) (*pooledEncoder, bool, error) {
 			key, support = k, sup
 		}
 	}
+	if pl.cache != nil && key != "" && !pl.pinned[key] {
+		pl.cache.pin(key)
+		if pl.pinned == nil {
+			pl.pinned = make(map[string]bool)
+		}
+		pl.pinned[key] = true
+	}
 	if pl.cache != nil {
 		if pe := pl.cache.checkout(key, ck); pe != nil {
 			if pl.stats != nil {
@@ -228,6 +241,14 @@ func (pl *encoderPool) retire() {
 		}
 	}
 	pl.entries = make(map[uint64]*pooledEncoder)
+	// Release pins only after every encoder is checked back in: the keys
+	// must stay eviction-exempt while their solver state is in flight.
+	if pl.cache != nil {
+		for key := range pl.pinned {
+			pl.cache.unpin(key)
+		}
+		pl.pinned = nil
+	}
 }
 
 // replayLearnts imports base-system learnt clauses from the cross-run

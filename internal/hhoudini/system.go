@@ -27,6 +27,15 @@ type System struct {
 	// verification cache refuses to share any state for it. Changing the
 	// safe set changes the key, which is the cache's invalidation story.
 	EnvKey string
+	// Namespace partitions every cache identity (CacheKey, ConeCacheKey) by
+	// an opaque owner id — the multi-tenant service folds each tenant's id
+	// in here. Soundness is inherited from the key discipline: two systems
+	// with different namespaces never produce equal keys, so no pooled
+	// solver, learnt clause, verdict or abduct can cross a tenant boundary;
+	// within one namespace the keys (and thus warm transfer, including
+	// cross-design cone transfer) behave exactly as without namespacing.
+	// Empty means the default, shared namespace.
+	Namespace string
 }
 
 // envScope is the canonical gate-naming scope of the environment
@@ -56,7 +65,19 @@ func (s *System) CacheKey() (string, bool) {
 	if s.Constrain != nil && s.EnvKey == "" {
 		return "", false
 	}
-	return strconv.FormatUint(s.Circuit.Fingerprint(), 16) + "|" + s.EnvKey, true
+	return s.nsPrefix() + strconv.FormatUint(s.Circuit.Fingerprint(), 16) + "|" + s.EnvKey, true
+}
+
+// nsPrefix renders the namespace component of every cache key. The \x02
+// separator cannot appear in a tenant id that came through the service's
+// validation, and the prefix form keeps the un-namespaced keys byte-
+// identical to their pre-namespace spelling (no cache invalidation on
+// upgrade).
+func (s *System) nsPrefix() string {
+	if s.Namespace == "" {
+		return ""
+	}
+	return "ns:" + s.Namespace + "\x02"
 }
 
 // newEncoderForCone is newEncoder with cone-canonical variable naming for
@@ -89,5 +110,5 @@ func (s *System) ConeCacheKey(support []string) (string, bool) {
 	if s.Constrain != nil && s.EnvKey == "" {
 		return "", false
 	}
-	return "cone:" + s.Circuit.ConeFingerprint(support).Hex() + "|" + s.EnvKey, true
+	return s.nsPrefix() + "cone:" + s.Circuit.ConeFingerprint(support).Hex() + "|" + s.EnvKey, true
 }

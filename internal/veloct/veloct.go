@@ -25,6 +25,11 @@ type Options struct {
 	// DisableAnnotations drops the target's expert UopRules — the
 	// "no expert annotations" configuration the paper uses for Rocketchip.
 	DisableAnnotations bool
+	// CacheNamespace partitions every cross-run cache identity this
+	// analysis produces (see hhoudini.System.Namespace). The multi-tenant
+	// service sets it to the tenant id so no cached artifact crosses a
+	// tenant boundary; empty means the default shared namespace.
+	CacheNamespace string
 }
 
 // DefaultOptions mirror the paper's configuration: sequential learner,
@@ -107,7 +112,8 @@ func (a *Analysis) System(safe []string) *hhoudini.System {
 			enc.AssertLit(enc.OrLits(opts...))
 			return nil
 		},
-		EnvKey: envKey,
+		EnvKey:    envKey,
+		Namespace: a.Opts.CacheNamespace,
 	}
 }
 
