@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build lint test race race-proofdb chaos bench-smoke bench bench-json bench-persist bench-sat bench-conecache bench-serve ci
+.PHONY: all vet build lint lint-cache test race race-proofdb chaos bench-smoke bench bench-json bench-persist bench-sat bench-conecache bench-serve ci
 
 all: build
 
@@ -12,10 +12,24 @@ vet:
 
 # hhlint: the repo's own static-analysis suite (internal/analysis). Exit 0
 # on a clean tree, 1 on findings, so CI fails fast; `-json` emits the same
-# findings machine-readably. See DESIGN.md "Static analysis" for the pass
-# inventory and the suppression policy.
+# findings machine-readably. The interprocedural passes memoize function
+# summaries in .hhcache/lintsumm.json, so a relint after a small edit only
+# recomputes the edited packages and their dependents. See DESIGN.md
+# "Static analysis" for the pass inventory and the suppression policy.
 lint:
 	$(GO) run ./cmd/hhlint ./...
+
+# Summary-memo self-check: a cold run (memo deleted) and a warm run must
+# produce byte-identical diagnostics, and the warm run must answer >0
+# package summaries from the memo (the -v counter line on stderr).
+lint-cache:
+	mkdir -p .hhcache
+	rm -f .hhcache/lintsumm.json
+	$(GO) run ./cmd/hhlint -json ./... > .hhcache/lint-cold.json
+	$(GO) run ./cmd/hhlint -json -v ./... > .hhcache/lint-warm.json 2> .hhcache/lint-warm.log
+	cmp .hhcache/lint-cold.json .hhcache/lint-warm.json
+	grep -E 'summary cache: [1-9][0-9]*/[0-9]+ packages' .hhcache/lint-warm.log
+	rm -f .hhcache/lint-cold.json .hhcache/lint-warm.json .hhcache/lint-warm.log
 
 build:
 	$(GO) build ./...
@@ -96,4 +110,4 @@ bench-serve:
 	$(GO) run ./cmd/benchjson -serve -out BENCH_serve.json
 	$(GO) run ./cmd/benchjson -check BENCH_serve.json
 
-ci: vet build lint race race-proofdb chaos bench-smoke bench-json bench-persist bench-sat bench-conecache bench-serve
+ci: vet build lint lint-cache race race-proofdb chaos bench-smoke bench-json bench-persist bench-sat bench-conecache bench-serve

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+
+	"hhoudini/internal/analysis"
+)
+
+// sarif.go renders findings as SARIF 2.1.0, the static-analysis interchange
+// format code-review UIs ingest natively. The subset emitted here is the
+// minimal stable core: one run, one driver, one rule per pass, one result
+// per diagnostic with a physical location. Paths are emitted as they arrive
+// (module-root-relative after main's relativization), slash-separated as
+// SARIF requires.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSarif emits one SARIF run covering all passes and diagnostics.
+func writeSarif(w io.Writer, passes []*analysis.Pass, diags []analysis.Diagnostic) error {
+	rules := make([]sarifRule, 0, len(passes)+1)
+	for _, p := range passes {
+		rules = append(rules, sarifRule{ID: p.Name, ShortDescription: sarifMessage{Text: p.Doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID:               analysis.SuppressionPass,
+		ShortDescription: sarifMessage{Text: "malformed //hhlint:ignore suppression"},
+	})
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Pass,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(d.File)},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "hhlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&log)
+}

@@ -97,6 +97,20 @@ func (c *Context) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportAt records a finding at an explicit file/line (used by the
+// interprocedural passes, whose facts may come from the disk memo rather
+// than live AST positions). file must be the absolute path as the FileSet
+// records it, so suppressions match.
+func (c *Context) ReportAt(file string, line int, format string, args ...any) {
+	*c.diags = append(*c.diags, Diagnostic{
+		Pass: c.pass.Name,
+		File: file,
+		Line: line,
+		Col:  1,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
 // TypeOf is a shorthand for the package's types.Info.TypeOf.
 func (c *Context) TypeOf(e ast.Expr) types.Type { return c.Pkg.Info.TypeOf(e) }
 
@@ -113,7 +127,10 @@ func DefaultPasses() []*Pass {
 	ps := []*Pass{
 		AtomicStatsPass(),
 		ClauseRingPass(),
+		CtxFlowPass(),
 		FlushErrPass(),
+		GoroLeakPass(),
+		LockOrderPass(),
 		LockScopePass(),
 		PanicScopePass(),
 		PooledOwnerPass(),
@@ -123,16 +140,72 @@ func DefaultPasses() []*Pass {
 	return ps
 }
 
+// Facts keys under which the runner publishes the interprocedural layer to
+// passes (lockorder, ctxflow, goroleak read these instead of rebuilding).
+const (
+	factGraph     = "module.graph"
+	factSummaries = "module.summaries"
+)
+
+// RunOptions configures the interprocedural layer of a Run.
+type RunOptions struct {
+	// ModuleRoot anchors relative paths in summaries and diagnostics; when
+	// empty, the first package's directory is used.
+	ModuleRoot string
+	// SummaryFile is the on-disk memo path ("" disables the memo: summaries
+	// are computed cold and not persisted — the harness mode).
+	SummaryFile string
+}
+
+// RunStats reports memo effectiveness for one Run (hhlint -v and the CI
+// warm/cold self-check read these).
+type RunStats struct {
+	PkgTotal  int
+	PkgHits   int
+	FuncTotal int
+	FuncHits  int
+}
+
 // Run executes every pass over every package and returns the surviving
 // diagnostics (suppressions applied, malformed suppressions reported) in
 // deterministic file/line/col/pass order.
 func Run(pkgs []*Package, passes []*Pass) []Diagnostic {
+	diags, _ := RunOpts(pkgs, passes, nil)
+	return diags
+}
+
+// RunOpts is Run with interprocedural options and memo statistics.
+func RunOpts(pkgs []*Package, passes []*Pass, opts *RunOptions) ([]Diagnostic, RunStats) {
 	known := make(map[string]bool, len(passes))
 	for _, p := range passes {
 		known[p.Name] = true
 	}
+
+	// Build the interprocedural layer once per Run: the call graph over the
+	// whole load, then the summary table (memoized on disk when a summary
+	// file is configured). Passes consume both through Facts.
+	root := ""
+	memoPath := ""
+	if opts != nil {
+		root = opts.ModuleRoot
+		memoPath = opts.SummaryFile
+	}
+	if root == "" && len(pkgs) > 0 {
+		root = pkgs[0].Dir
+	}
+	graph := BuildCallGraph(pkgs)
+	summaries := BuildSummaries(pkgs, graph, root, memoPath)
+	stats := RunStats{
+		PkgTotal:  summaries.PkgTotal,
+		PkgHits:   summaries.PkgHits,
+		FuncTotal: summaries.FuncTotal,
+		FuncHits:  summaries.FuncHits,
+	}
+
 	var raw []Diagnostic
 	facts := make(map[string]any)
+	facts[factGraph] = graph
+	facts[factSummaries] = summaries
 	for _, pass := range passes {
 		for _, pkg := range pkgs {
 			ctx := &Context{Pkg: pkg, All: pkgs, Facts: facts, pass: pass, diags: &raw}
@@ -162,5 +235,17 @@ func Run(pkgs []*Package, passes []*Pass) []Diagnostic {
 		}
 		return a.Msg < b.Msg
 	})
-	return out
+	return out, stats
+}
+
+// moduleGraph retrieves the call graph the runner published to Facts.
+func moduleGraph(ctx *Context) *CallGraph {
+	g, _ := ctx.Facts[factGraph].(*CallGraph)
+	return g
+}
+
+// moduleSummaries retrieves the summary table the runner published.
+func moduleSummaries(ctx *Context) *SummarySet {
+	s, _ := ctx.Facts[factSummaries].(*SummarySet)
+	return s
 }

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -9,9 +11,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package of the load.
@@ -28,6 +32,13 @@ type Package struct {
 	// Types and Info are the go/types results for the package.
 	Types *types.Package
 	Info  *types.Info
+	// Imports are the module-internal import paths (load-order deps);
+	// empty for single-package harness loads.
+	Imports []string
+	// Hash is a hex content fingerprint over the package's source files
+	// (names + bytes, in sorted-file order) — the raw material for the
+	// summary memo's per-package cache key.
+	Hash string
 }
 
 // LoadModule parses and type-checks every package under the module rooted
@@ -59,29 +70,54 @@ func LoadModule(dir string) ([]*Package, error) {
 	type rawPkg struct {
 		path    string
 		dir     string
+		hash    string
 		files   []*ast.File
 		imports []string
 	}
+
+	// Parse every candidate directory concurrently; the shared FileSet is
+	// safe for concurrent AddFile, and parsing is embarrassingly parallel.
+	parsed := make([]*rawPkg, len(dirs))
+	perr := make([]error, len(dirs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, d := range dirs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			files, hash, err := parseDir(fset, d)
+			if err != nil {
+				perr[i] = err
+				return
+			}
+			if len(files) == 0 {
+				return
+			}
+			rel, err := filepath.Rel(root, d)
+			if err != nil {
+				perr[i] = err
+				return
+			}
+			path := modPath
+			if rel != "." {
+				path = modPath + "/" + filepath.ToSlash(rel)
+			}
+			parsed[i] = &rawPkg{path: path, dir: d, hash: hash, files: files}
+		}()
+	}
+	wg.Wait()
 	raws := make(map[string]*rawPkg)
-	for _, d := range dirs {
-		files, err := parseDir(fset, d)
-		if err != nil {
-			return nil, err
+	for i, rp := range parsed {
+		if perr[i] != nil {
+			return nil, perr[i]
 		}
-		if len(files) == 0 {
+		if rp == nil {
 			continue
 		}
-		rel, err := filepath.Rel(root, d)
-		if err != nil {
-			return nil, err
-		}
-		path := modPath
-		if rel != "." {
-			path = modPath + "/" + filepath.ToSlash(rel)
-		}
-		rp := &rawPkg{path: path, dir: d, files: files}
 		seen := map[string]bool{}
-		for _, f := range files {
+		for _, f := range rp.files {
 			for _, imp := range f.Imports {
 				p, err := strconv.Unquote(imp.Path.Value)
 				if err != nil {
@@ -93,7 +129,7 @@ func LoadModule(dir string) ([]*Package, error) {
 				}
 			}
 		}
-		raws[path] = rp
+		raws[rp.path] = rp
 	}
 
 	order, err := topoSort(raws, func(p string) []string { return raws[p].imports })
@@ -101,19 +137,74 @@ func LoadModule(dir string) ([]*Package, error) {
 		return nil, err
 	}
 
-	std := newStdImporter(fset)
-	mods := make(map[string]*types.Package, len(order))
-	imp := &moduleImporter{std: std, mods: mods}
-	var out []*Package
+	// Type-check in topological wavefronts: level(p) = 1 + max(level of
+	// module-internal deps), and every package of one level type-checks
+	// concurrently (bounded by GOMAXPROCS) — its dependencies were resolved
+	// by earlier levels. The stdlib source importer is not concurrency-safe,
+	// so it is serialized behind a mutex; module-internal resolution is a
+	// lock-guarded map lookup.
+	level := make(map[string]int, len(order))
+	maxLevel := 0
 	for _, path := range order {
-		rp := raws[path]
-		pkg, err := typeCheck(fset, path, rp.files, imp)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+		l := 0
+		for _, d := range raws[path].imports {
+			if _, ok := raws[d]; ok && level[d]+1 > l {
+				l = level[d] + 1
+			}
 		}
-		mods[path] = pkg.Types
-		pkg.Dir = rp.dir
-		out = append(out, pkg)
+		level[path] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+
+	imp := &moduleImporter{
+		std:  &lockedImporter{inner: newStdImporter(fset)},
+		mods: make(map[string]*types.Package, len(order)),
+	}
+	checked := make(map[string]*Package, len(order))
+	var cmu sync.Mutex
+	for l := 0; l <= maxLevel; l++ {
+		var wave []string
+		for _, path := range order {
+			if level[path] == l {
+				wave = append(wave, path)
+			}
+		}
+		errs := make([]error, len(wave))
+		var wwg sync.WaitGroup
+		for i, path := range wave {
+			wwg.Add(1)
+			go func() {
+				defer wwg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				rp := raws[path]
+				pkg, err := typeCheck(fset, path, rp.files, imp)
+				if err != nil {
+					errs[i] = fmt.Errorf("%s: %w", path, err)
+					return
+				}
+				pkg.Dir = rp.dir
+				pkg.Hash = rp.hash
+				pkg.Imports = append([]string(nil), rp.imports...)
+				imp.add(path, pkg.Types)
+				cmu.Lock()
+				checked[path] = pkg
+				cmu.Unlock()
+			}()
+		}
+		wwg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	out := make([]*Package, 0, len(order))
+	for _, path := range order {
+		out = append(out, checked[path])
 	}
 	return out, nil
 }
@@ -128,7 +219,7 @@ func LoadPackage(dir string) (*Package, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	files, err := parseDir(fset, abs)
+	files, hash, err := parseDir(fset, abs)
 	if err != nil {
 		return nil, err
 	}
@@ -140,15 +231,18 @@ func LoadPackage(dir string) (*Package, error) {
 		return nil, fmt.Errorf("%s: %w", dir, err)
 	}
 	pkg.Dir = abs
+	pkg.Hash = hash
 	return pkg, nil
 }
 
 // parseDir parses every non-test .go file of one directory, in sorted
 // order, with comments attached (suppressions and annotations live there).
-func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+// The returned hash fingerprints the parsed bytes (file names + contents),
+// feeding the summary memo's per-package cache key.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, string, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	var names []string
 	for _, e := range ents {
@@ -161,14 +255,25 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	}
 	sort.Strings(names)
 	var files []*ast.File
+	h := sha256.New()
 	for _, n := range names {
-		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		path := filepath.Join(dir, n)
+		src, err := os.ReadFile(path)
 		if err != nil {
-			return nil, err
+			return nil, "", err
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", n, len(src))
+		h.Write(src)
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, "", err
 		}
 		files = append(files, f)
 	}
-	return files, nil
+	if len(files) == 0 {
+		return nil, "", nil
+	}
+	return files, hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // typeCheck runs go/types over one package's files.
@@ -204,10 +309,19 @@ func typeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Im
 
 // moduleImporter resolves module-internal import paths against the already
 // type-checked packages of this load and everything else against the
-// stdlib source importer.
+// stdlib source importer. Safe for concurrent use by wavefront
+// type-checkers: mods is mutex-guarded, and writes only happen for packages
+// whose dependents have not started checking yet.
 type moduleImporter struct {
 	std  types.ImporterFrom
+	mu   sync.RWMutex
 	mods map[string]*types.Package
+}
+
+func (m *moduleImporter) add(path string, pkg *types.Package) {
+	m.mu.Lock()
+	m.mods[path] = pkg
+	m.mu.Unlock()
 }
 
 func (m *moduleImporter) Import(path string) (*types.Package, error) {
@@ -215,10 +329,30 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 }
 
 func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
-	if p, ok := m.mods[path]; ok {
+	m.mu.RLock()
+	p, ok := m.mods[path]
+	m.mu.RUnlock()
+	if ok {
 		return p, nil
 	}
 	return m.std.ImportFrom(path, dir, mode)
+}
+
+// lockedImporter serializes a non-concurrency-safe importer (the go/types
+// source importer documents itself as single-goroutine).
+type lockedImporter struct {
+	mu    sync.Mutex
+	inner types.ImporterFrom
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+func (l *lockedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.ImportFrom(path, dir, mode)
 }
 
 // newStdImporter builds the stdlib importer. The "source" compiler variant

@@ -128,7 +128,17 @@ func checkHeldCallbacks(c *Context, unit funcUnit) {
 		if recv != nil && mutexKind(c.TypeOf(recv)) != "" {
 			key := types.ExprString(recv)
 			switch name {
-			case "Lock", "RLock":
+			case "Lock":
+				// Re-locking a mutex that is still held in this body — the
+				// classic `defer mu.Unlock()` followed by another Lock() —
+				// self-deadlocks on a plain Mutex (the deferred Unlock only
+				// runs at function end). RLock re-entry is left alone: shared
+				// locks legitimately overlap.
+				if held[key] {
+					c.Reportf(call.Pos(), "Lock of %s while it is still held in this function (a deferred Unlock releases only at return): self-deadlock", key)
+				}
+				held[key] = true
+			case "RLock":
 				held[key] = true
 			case "Unlock", "RUnlock":
 				if !inDefer(parents) {

@@ -23,6 +23,9 @@ func TestGoldenPasses(t *testing.T) {
 		{"panicscope", 2},
 		{"servectx", 3},
 		{"suppress", 2},
+		{"lockorder", 2},
+		{"ctxflow", 3},
+		{"goroleak", 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -47,8 +50,14 @@ func TestSuppressionScope(t *testing.T) {
 	if counts[SuppressionPass] != 2 {
 		t.Errorf("want 2 %q diagnostics (malformed + unknown pass), got %d", SuppressionPass, counts[SuppressionPass])
 	}
-	if counts["atomicstats"] != 3 {
-		t.Errorf("want 3 surviving atomicstats diagnostics (wrong-pass, malformed, unknown-pass targets), got %d", counts["atomicstats"])
+	if counts["atomicstats"] != 4 {
+		t.Errorf("want 4 surviving atomicstats diagnostics (wrong-pass, malformed, unknown-pass, brace-line targets), got %d", counts["atomicstats"])
+	}
+	// Two passes fire on the twoPassSpace line; only atomicstats is named by
+	// the ignore (space-separated trailing tokens are reason text), so
+	// exactly one lockscope finding must survive.
+	if counts["lockscope"] != 1 {
+		t.Errorf("want 1 surviving lockscope diagnostic (space-separated ignore names one pass), got %d", counts["lockscope"])
 	}
 }
 

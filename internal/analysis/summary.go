@@ -1,0 +1,913 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// summary.go is the interprocedural engine: one FuncSummary per call-graph
+// node, computed bottom-up over strongly connected components and memoized
+// on disk, mirroring the VerifyCache memo design — compute once, key by
+// content fingerprint, answer warm runs from the store.
+//
+// A summary has two layers:
+//
+//   - direct facts read off the node's own body (locks acquired/released
+//     in linear order, calls made while holding locks, blocking operations
+//     on context-less paths, goroutine termination signals, spawned
+//     goroutines);
+//   - transitive facts composed from callee summaries over the call graph
+//     (every lock the function may acquire, whether a blocking operation
+//     is reachable with no context to observe, whether a termination
+//     signal is reachable, whether an unbounded loop is reachable), with a
+//     witness chain preserved for diagnostics.
+//
+// The memo (.hhcache/lintsumm.json by default) stores both layers keyed by
+// a per-package fingerprint: a hash of the package's source bytes, the
+// summary schema version, and the fingerprints of its module-internal
+// dependencies — so any edit invalidates exactly the packages above it in
+// the import DAG, and a warm `make lint` answers every summary below the
+// edit from disk. File positions inside stored summaries are module-root-
+// relative, so the memo survives checkouts at different paths.
+
+// summaryVersion invalidates the memo when the fact schema or extraction
+// rules change.
+const summaryVersion = 1
+
+// DefaultSummaryFile is the memo location relative to the module root.
+const DefaultSummaryFile = ".hhcache/lintsumm.json"
+
+// LockSite is one direct lock acquisition.
+type LockSite struct {
+	Lock string `json:"lock"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+}
+
+// TransAcq is one lock in the transitive-acquisition closure, with the
+// callee chain that reaches it.
+type TransAcq struct {
+	Lock string   `json:"lock"`
+	File string   `json:"file"`
+	Line int      `json:"line"`
+	Via  []string `json:"via,omitempty"`
+}
+
+// LockEdge is one directly observed ordered pair: Acq was acquired while
+// Held was held.
+type LockEdge struct {
+	Held string `json:"held"`
+	Acq  string `json:"acq"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+}
+
+// HeldCall is a resolved call made while holding locks.
+type HeldCall struct {
+	Callee string   `json:"callee"`
+	Held   []string `json:"held"`
+	File   string   `json:"file"`
+	Line   int      `json:"line"`
+}
+
+// SpawnSite is one `go` statement with a resolved target.
+type SpawnSite struct {
+	Target string `json:"target"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+}
+
+// BlockSite is one direct blocking operation (or other positioned fact).
+type BlockSite struct {
+	Op   string `json:"op"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+}
+
+// Witness is a transitive fact with the callee chain that established it.
+type Witness struct {
+	Op   string   `json:"op"`
+	File string   `json:"file"`
+	Line int      `json:"line"`
+	Via  []string `json:"via,omitempty"`
+}
+
+// FuncSummary is the per-function fact record, JSON-stable for the memo.
+type FuncSummary struct {
+	Key    string `json:"key"`
+	HasCtx bool   `json:"has_ctx,omitempty"`
+
+	// Direct facts.
+	Acquires  []LockSite  `json:"acquires,omitempty"`
+	LockEdges []LockEdge  `json:"lock_edges,omitempty"`
+	HeldCalls []HeldCall  `json:"held_calls,omitempty"`
+	Calls     []string    `json:"calls,omitempty"`
+	Spawns    []SpawnSite `json:"spawns,omitempty"`
+	Blocks    []BlockSite `json:"blocks,omitempty"`
+	CtxDrops  []BlockSite `json:"ctx_drops,omitempty"`
+	TermSig   string      `json:"term_sig,omitempty"` // "ctx" | "wg" | "chan" | ""
+	Loop      *BlockSite  `json:"loop,omitempty"`     // first unbounded `for {}` loop
+
+	// Transitive closure (stored, so memo hits skip recomputation).
+	TransAcquires []TransAcq `json:"trans_acquires,omitempty"`
+	BlocksNoCtx   *Witness   `json:"blocks_noctx,omitempty"`
+	HasTerm       bool       `json:"has_term,omitempty"`
+	MayLoop       *Witness   `json:"may_loop,omitempty"`
+}
+
+// SummarySet is the module-wide summary table plus memo bookkeeping.
+type SummarySet struct {
+	// Root is the directory summaries' file paths are relative to.
+	Root string
+	// Funcs maps summary key → summary for every node of the load.
+	Funcs map[string]*FuncSummary
+
+	// perPkg groups summaries by package path for the memo file.
+	perPkg map[string]map[string]*FuncSummary
+	// fps is the per-package composite fingerprint.
+	fps map[string]string
+
+	// Memo effectiveness counters (reported by hhlint -v and checked by
+	// the CI warm/cold self-test).
+	PkgTotal  int
+	PkgHits   int
+	FuncTotal int
+	FuncHits  int
+}
+
+// AbsPath joins a summary-relative path back to an absolute one for
+// diagnostics.
+func (s *SummarySet) AbsPath(rel string) string {
+	if rel == "" || filepath.IsAbs(rel) {
+		return rel
+	}
+	return filepath.Join(s.Root, rel)
+}
+
+// memoFile is the on-disk schema.
+type memoFile struct {
+	Version  int                 `json:"version"`
+	Packages map[string]*memoPkg `json:"packages"`
+}
+
+type memoPkg struct {
+	Fingerprint string                  `json:"fingerprint"`
+	Funcs       map[string]*FuncSummary `json:"funcs"`
+}
+
+// BuildSummaries computes (or restores) the summary table for the loaded
+// packages. root anchors relative paths; memoPath, when non-empty, is the
+// memo file to read and rewrite. pkgs must be in load order (dependencies
+// first). Memo failures (missing, corrupt, version-skewed) degrade to a
+// cold computation, never an error — same contract as the proofdb.
+func BuildSummaries(pkgs []*Package, g *CallGraph, root, memoPath string) *SummarySet {
+	set := &SummarySet{
+		Root:   root,
+		Funcs:  map[string]*FuncSummary{},
+		perPkg: map[string]map[string]*FuncSummary{},
+		fps:    map[string]string{},
+	}
+	var memo *memoFile
+	if memoPath != "" {
+		memo = readMemo(memoPath)
+	}
+
+	// Composite fingerprints, in dependency order.
+	for _, pkg := range pkgs {
+		h := sha256.New()
+		fmt.Fprintf(h, "v%d\x00%s\x00%s\x00", summaryVersion, pkg.Path, pkg.Hash)
+		deps := append([]string(nil), pkg.Imports...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			fmt.Fprintf(h, "%s=%s\x00", d, set.fps[d])
+		}
+		set.fps[pkg.Path] = hex.EncodeToString(h.Sum(nil))
+	}
+
+	// Partition packages into memo hits and fresh work.
+	fresh := map[string]bool{}
+	for _, pkg := range pkgs {
+		set.PkgTotal++
+		if memo != nil {
+			if mp := memo.Packages[pkg.Path]; mp != nil && mp.Fingerprint == set.fps[pkg.Path] {
+				set.PkgHits++
+				set.perPkg[pkg.Path] = mp.Funcs
+				for k, fs := range mp.Funcs {
+					set.Funcs[k] = fs
+					set.FuncHits++
+					set.FuncTotal++
+				}
+				continue
+			}
+		}
+		fresh[pkg.Path] = true
+	}
+
+	// Direct facts for every node of a fresh package.
+	var freshNodes []*CGNode
+	for _, n := range g.Nodes {
+		if !fresh[n.Pkg.Path] {
+			continue
+		}
+		fs := directFacts(n, g, root)
+		set.Funcs[n.Key] = fs
+		pp := set.perPkg[n.Pkg.Path]
+		if pp == nil {
+			pp = map[string]*FuncSummary{}
+			set.perPkg[n.Pkg.Path] = pp
+		}
+		pp[n.Key] = fs
+		freshNodes = append(freshNodes, n)
+		set.FuncTotal++
+	}
+
+	// Transitive closure over the fresh subgraph, callee-first: Tarjan
+	// emits SCCs in reverse topological order of the condensation, so each
+	// popped component sees final callee facts; mutual recursion inside a
+	// component iterates to a fixpoint.
+	for _, scc := range tarjanSCC(freshNodes, func(n *CGNode) []*CGNode {
+		var out []*CGNode
+		for _, e := range n.Out {
+			if e.Kind != KindGo && fresh[e.Callee.Pkg.Path] {
+				out = append(out, e.Callee)
+			}
+		}
+		return out
+	}) {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range scc {
+				if composeTransitive(set.Funcs[n.Key], set.Funcs) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	if memoPath != "" {
+		writeMemo(memoPath, set)
+	}
+	return set
+}
+
+// composeTransitive folds callee closures into fs, reporting whether
+// anything changed (the SCC fixpoint condition).
+func composeTransitive(fs *FuncSummary, all map[string]*FuncSummary) bool {
+	changed := false
+
+	// Seed the lock closure with the direct acquisitions.
+	have := map[string]bool{}
+	for _, ta := range fs.TransAcquires {
+		have[ta.Lock] = true
+	}
+	for _, a := range fs.Acquires {
+		if !have[a.Lock] {
+			fs.TransAcquires = append(fs.TransAcquires, TransAcq{Lock: a.Lock, File: a.File, Line: a.Line})
+			have[a.Lock] = true
+			changed = true
+		}
+	}
+	for _, callee := range fs.Calls {
+		cs := all[callee]
+		if cs == nil {
+			continue
+		}
+		for _, ta := range cs.TransAcquires {
+			if have[ta.Lock] {
+				continue
+			}
+			via := append([]string{callee}, ta.Via...)
+			if len(via) > 6 {
+				via = via[:6] // cap witness depth; the head is what matters
+			}
+			fs.TransAcquires = append(fs.TransAcquires, TransAcq{Lock: ta.Lock, File: ta.File, Line: ta.Line, Via: via})
+			have[ta.Lock] = true
+			changed = true
+		}
+		// A context-less blocking path through a callee. Callees that take
+		// a context account for their own blocking at their own report
+		// sites, so the chain stops there.
+		if fs.BlocksNoCtx == nil && !fs.HasCtx && cs.BlocksNoCtx != nil {
+			via := append([]string{callee}, cs.BlocksNoCtx.Via...)
+			if len(via) > 6 {
+				via = via[:6]
+			}
+			fs.BlocksNoCtx = &Witness{Op: cs.BlocksNoCtx.Op, File: cs.BlocksNoCtx.File, Line: cs.BlocksNoCtx.Line, Via: via}
+			changed = true
+		}
+		if !fs.HasTerm && cs.HasTerm {
+			fs.HasTerm = true
+			changed = true
+		}
+		if fs.MayLoop == nil && cs.MayLoop != nil {
+			via := append([]string{callee}, cs.MayLoop.Via...)
+			if len(via) > 6 {
+				via = via[:6]
+			}
+			fs.MayLoop = &Witness{Op: cs.MayLoop.Op, File: cs.MayLoop.File, Line: cs.MayLoop.Line, Via: via}
+			changed = true
+		}
+	}
+	if fs.BlocksNoCtx == nil && !fs.HasCtx && len(fs.Blocks) > 0 {
+		b := fs.Blocks[0]
+		fs.BlocksNoCtx = &Witness{Op: b.Op, File: b.File, Line: b.Line}
+		changed = true
+	}
+	if !fs.HasTerm && fs.TermSig != "" {
+		fs.HasTerm = true
+		changed = true
+	}
+	if fs.MayLoop == nil && fs.Loop != nil {
+		fs.MayLoop = &Witness{Op: fs.Loop.Op, File: fs.Loop.File, Line: fs.Loop.Line}
+		changed = true
+	}
+	return changed
+}
+
+// tarjanSCC computes strongly connected components over nodes, emitted in
+// reverse topological order of the condensation (every component before
+// its callers).
+func tarjanSCC(nodes []*CGNode, succ func(*CGNode) []*CGNode) [][]*CGNode {
+	index := map[*CGNode]int{}
+	low := map[*CGNode]int{}
+	onStack := map[*CGNode]bool{}
+	var stack []*CGNode
+	var sccs [][]*CGNode
+	next := 0
+
+	var strong func(n *CGNode)
+	strong = func(n *CGNode) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, m := range succ(n) {
+			if _, seen := index[m]; !seen {
+				strong(m)
+				if low[m] < low[n] {
+					low[n] = low[m]
+				}
+			} else if onStack[m] && index[m] < low[n] {
+				low[n] = index[m]
+			}
+		}
+		if low[n] == index[n] {
+			var scc []*CGNode
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				scc = append(scc, m)
+				if m == n {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strong(n)
+		}
+	}
+	return sccs
+}
+
+// --- Memo I/O ----------------------------------------------------------------
+
+// readMemo loads the memo file, returning nil (cold start) on any failure.
+func readMemo(path string) *memoFile {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var m memoFile
+	if json.Unmarshal(data, &m) != nil || m.Version != summaryVersion || m.Packages == nil {
+		return nil
+	}
+	return &m
+}
+
+// writeMemo persists the full summary table atomically (temp file +
+// rename, the proofdb flush discipline minus the fsync: a torn memo only
+// costs a cold relint). Write failures are silently ignored — the memo is
+// an accelerator, not a correctness dependency.
+func writeMemo(path string, set *SummarySet) {
+	m := memoFile{Version: summaryVersion, Packages: map[string]*memoPkg{}}
+	for pkgPath, funcs := range set.perPkg {
+		m.Packages[pkgPath] = &memoPkg{Fingerprint: set.fps[pkgPath], Funcs: funcs}
+	}
+	data, err := json.Marshal(&m)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".lintsumm-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if os.Rename(name, path) != nil {
+		os.Remove(name)
+	}
+}
+
+// --- Direct-fact extraction ---------------------------------------------------
+
+// directFacts scans one node's body (go-spawned literals and escaping
+// closures excluded — they are their own nodes or unknown contexts).
+func directFacts(n *CGNode, g *CallGraph, root string) *FuncSummary {
+	fs := &FuncSummary{Key: n.Key, HasCtx: nodeHasCtx(n)}
+	relPos := func(p token.Pos) (string, int) {
+		posn := n.Pkg.Fset.Position(p)
+		file := posn.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) {
+			file = rel
+		}
+		return filepath.ToSlash(file), posn.Line
+	}
+
+	// Calls and spawns come straight off the graph edges.
+	for _, e := range n.Out {
+		file, line := relPos(e.Pos)
+		switch e.Kind {
+		case KindGo:
+			fs.Spawns = append(fs.Spawns, SpawnSite{Target: e.Callee.Key, File: file, Line: line})
+		default:
+			fs.Calls = append(fs.Calls, e.Callee.Key)
+		}
+	}
+	sort.Strings(fs.Calls)
+	fs.Calls = dedupStrings(fs.Calls)
+
+	held := map[string]bool{}
+	heldList := func() []string {
+		out := make([]string, 0, len(held))
+		for k := range held {
+			out = append(out, k)
+		}
+		sort.Strings(out)
+		return out
+	}
+	acquired := map[string]bool{}
+	termCtx, termWG, termChan := false, false, false
+
+	// selectInfo caches per-select classification; commExprs marks channel
+	// operations that belong to a select's comm clauses (accounted at the
+	// select level, not individually).
+	guardedSelect := map[*ast.SelectStmt]bool{}
+	commOps := map[ast.Node]bool{}
+
+	walkNodeBody(n, func(nd ast.Node, parents []ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.SelectStmt:
+			guarded, hasDefault := false, false
+			for _, cl := range x.Body.List {
+				comm, ok := cl.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if comm.Comm == nil {
+					hasDefault = true
+					continue
+				}
+				for _, op := range commChanOps(comm.Comm) {
+					commOps[op] = true
+					if recv, ok := op.(*ast.UnaryExpr); ok {
+						if isCtxDoneRecv(n.Pkg, recv) {
+							guarded = true
+							termCtx = true
+						} else {
+							termChan = true
+						}
+					}
+				}
+			}
+			guardedSelect[x] = guarded || hasDefault
+			if !guarded && !hasDefault {
+				file, line := relPos(x.Pos())
+				fs.Blocks = append(fs.Blocks, BlockSite{Op: "select with no ctx.Done case", File: file, Line: line})
+			}
+			return true
+
+		case *ast.SendStmt:
+			if !commOps[x] {
+				file, line := relPos(x.Pos())
+				fs.Blocks = append(fs.Blocks, BlockSite{Op: "channel send", File: file, Line: line})
+			}
+			return true
+
+		case *ast.UnaryExpr:
+			if x.Op != token.ARROW || commOps[x] {
+				return true
+			}
+			if isCtxDoneRecv(n.Pkg, x) {
+				termCtx = true
+				return true
+			}
+			termChan = true
+			file, line := relPos(x.Pos())
+			fs.Blocks = append(fs.Blocks, BlockSite{Op: "channel receive", File: file, Line: line})
+			return true
+
+		case *ast.RangeStmt:
+			if t := n.Pkg.Info.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					termChan = true
+					file, line := relPos(x.Pos())
+					fs.Blocks = append(fs.Blocks, BlockSite{Op: "range over channel", File: file, Line: line})
+				}
+			}
+			return true
+
+		case *ast.ForStmt:
+			if x.Init == nil && x.Cond == nil && x.Post == nil && fs.Loop == nil {
+				file, line := relPos(x.Pos())
+				fs.Loop = &BlockSite{Op: "for {} loop", File: file, Line: line}
+			}
+			return true
+
+		case *ast.CallExpr:
+			fileOf := func() (string, int) { return relPos(x.Pos()) }
+
+			// Lock-state transitions (incl. methods promoted from an
+			// embedded mutex).
+			if class, op, ok := lockOp(n.Pkg, x); ok {
+				if class == "" {
+					return true // local mutex: no cross-function order
+				}
+				switch op {
+				case "Lock", "RLock":
+					file, line := fileOf()
+					for _, h := range heldList() {
+						if h != class {
+							fs.LockEdges = append(fs.LockEdges, LockEdge{Held: h, Acq: class, File: file, Line: line})
+						}
+					}
+					if !acquired[class] {
+						acquired[class] = true
+						fs.Acquires = append(fs.Acquires, LockSite{Lock: class, File: file, Line: line})
+					}
+					held[class] = true
+				case "Unlock", "RUnlock":
+					if !inDefer(parents) {
+						delete(held, class)
+					}
+				}
+				return true
+			}
+
+			// Blocking / termination stdlib calls.
+			switch stdlibCallKind(n.Pkg, x) {
+			case "time.Sleep":
+				file, line := fileOf()
+				fs.Blocks = append(fs.Blocks, BlockSite{Op: "time.Sleep", File: file, Line: line})
+			case "cond.Wait":
+				file, line := fileOf()
+				fs.Blocks = append(fs.Blocks, BlockSite{Op: "sync.Cond.Wait", File: file, Line: line})
+			case "wg.Done":
+				termWG = true
+			case "ctx.Done", "ctx.Err":
+				termCtx = true
+			}
+
+			// Dropped context: a context-bearing function handing a callee
+			// context.Background()/TODO() instead of its own ctx.
+			if fs.HasCtx && len(x.Args) > 0 {
+				if sig, ok := n.Pkg.Info.TypeOf(x.Fun).(*types.Signature); ok &&
+					sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type()) {
+					if bg := backgroundCtxCall(n.Pkg, x.Args[0]); bg != "" {
+						file, line := fileOf()
+						fs.CtxDrops = append(fs.CtxDrops, BlockSite{
+							Op:   fmt.Sprintf("%s(context.%s(), …) drops the caller's ctx", callLabel(x), bg),
+							File: file, Line: line,
+						})
+					}
+				}
+			}
+
+			// Calls made while holding a lock.
+			if len(held) > 0 {
+				if callee := resolveCallee(n, x); callee != nil {
+					if t := g.NodeFor(callee); t != nil {
+						file, line := fileOf()
+						fs.HeldCalls = append(fs.HeldCalls, HeldCall{Callee: t.Key, Held: heldList(), File: file, Line: line})
+					}
+				}
+			}
+			return true
+		}
+		return true
+	})
+
+	switch {
+	case termCtx:
+		fs.TermSig = "ctx"
+	case termWG:
+		fs.TermSig = "wg"
+	case termChan:
+		fs.TermSig = "chan"
+	}
+	return fs
+}
+
+// walkNodeBody traverses a node's body in source order with a parent
+// stack, skipping go-spawned literals (their own nodes) and escaping
+// literals (unknown execution context); deferred and immediately invoked
+// literals are descended into.
+func walkNodeBody(n *CGNode, fn func(nd ast.Node, parents []ast.Node) bool) {
+	inlined := map[*ast.FuncLit]bool{}
+	var stack []ast.Node
+	ast.Inspect(n.Body(), func(nd ast.Node) bool {
+		if nd == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch x := nd.(type) {
+		case *ast.GoStmt:
+			if _, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				// Spawned literal: its body is a child node. The spawn
+				// itself is already in fs.Spawns via the graph.
+				return false
+			}
+		case *ast.DeferStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				inlined[lit] = true
+			}
+		case *ast.CallExpr:
+			if lit, ok := x.Fun.(*ast.FuncLit); ok {
+				inlined[lit] = true
+			}
+		case *ast.FuncLit:
+			if !inlined[x] {
+				return false
+			}
+		}
+		if !fn(nd, stack) {
+			return false
+		}
+		stack = append(stack, nd)
+		return true
+	})
+}
+
+// nodeHasCtx reports whether the node's signature takes a context.Context
+// parameter.
+func nodeHasCtx(n *CGNode) bool {
+	var sig *types.Signature
+	if n.Fn != nil {
+		sig, _ = n.Fn.Type().(*types.Signature)
+	} else if t := n.Pkg.Info.TypeOf(n.Lit); t != nil {
+		sig, _ = t.(*types.Signature)
+	}
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// commChanOps extracts the channel operations of one select comm statement.
+func commChanOps(s ast.Stmt) []ast.Node {
+	var ops []ast.Node
+	switch st := s.(type) {
+	case *ast.SendStmt:
+		ops = append(ops, st)
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(st.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			ops = append(ops, u)
+		}
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			if u, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				ops = append(ops, u)
+			}
+		}
+	}
+	return ops
+}
+
+// isCtxDoneRecv reports whether recv is `<-ctx.Done()` for a
+// context.Context-typed ctx.
+func isCtxDoneRecv(pkg *Package, recv *ast.UnaryExpr) bool {
+	call, ok := ast.Unparen(recv.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	return isContextType(pkg.Info.TypeOf(sel.X))
+}
+
+// stdlibCallKind classifies the blocking / termination-signal stdlib calls
+// the summary engine cares about.
+func stdlibCallKind(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	// Package-qualified: time.Sleep.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "time" && name == "Sleep" {
+				return "time.Sleep"
+			}
+			return ""
+		}
+	}
+	// Methods: resolve the receiver's type.
+	recvT := pkg.Info.TypeOf(sel.X)
+	switch {
+	case name == "Wait" && isSyncType(recvT, "Cond"):
+		return "cond.Wait"
+	case name == "Done" && isSyncType(recvT, "WaitGroup"):
+		return "wg.Done"
+	case name == "Done" && isContextType(recvT):
+		return "ctx.Done"
+	case name == "Err" && isContextType(recvT):
+		return "ctx.Err"
+	}
+	return ""
+}
+
+// isSyncType reports whether t is sync.<name> (after pointer deref).
+func isSyncType(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name
+}
+
+// backgroundCtxCall reports "Background"/"TODO" when e is a direct
+// context.Background()/context.TODO() call, else "".
+func backgroundCtxCall(pkg *Package, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return ""
+	}
+	if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// callLabel renders a short source-ish label for a call's callee.
+func callLabel(call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}
+
+// lockOp classifies call as a mutex Lock/RLock/Unlock/RUnlock, returning
+// the lock class ("" for locks with no cross-function identity, e.g.
+// local variables) and the operation name. The class abstracts instances
+// to their declaration site: "pkg.Type.field" for a mutex struct field,
+// "pkg.Type" for a type with an embedded mutex, "pkg.var" for a
+// package-level mutex variable.
+func lockOp(pkg *Package, call *ast.CallExpr) (class, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	s, isMethod := pkg.Info.Selections[sel]
+	if !isMethod || s.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	m, _ := s.Obj().(*types.Func)
+	if m == nil || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return lockClass(pkg, sel.X), op, true
+}
+
+// lockClass names the lock an expression denotes, abstracted to its
+// declaration site.
+func lockClass(pkg *Package, expr ast.Expr) string {
+	expr = ast.Unparen(expr)
+	t := pkg.Info.TypeOf(expr)
+	if mutexKind(t) == "" {
+		// Promoted method from an embedded mutex: classify by the outer
+		// named type.
+		if name := namedTypeName(t); name != "" {
+			return name
+		}
+		return ""
+	}
+	switch x := expr.(type) {
+	case *ast.SelectorExpr:
+		// A mutex struct field: owner type + field name.
+		if owner := namedTypeName(pkg.Info.TypeOf(x.X)); owner != "" {
+			return owner + "." + x.Sel.Name
+		}
+		// Package-qualified variable: pkg.Mu.
+		if id, ok := x.X.(*ast.Ident); ok {
+			if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Path() + "." + x.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		obj := pkg.Info.Uses[x]
+		if obj == nil {
+			obj = pkg.Info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	}
+	return "" // locals and anonymous shapes: no stable identity
+}
+
+// namedTypeName renders a type's "pkgpath.Name" (after pointer deref), or
+// "" for unnamed types.
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+func dedupStrings(in []string) []string {
+	out := in[:0]
+	var prev string
+	for i, s := range in {
+		if i == 0 || s != prev {
+			out = append(out, s)
+		}
+		prev = s
+	}
+	return out
+}
+
+// DumpSummaries renders the summary table as indented JSON for the
+// -summaries debug flag.
+func DumpSummaries(set *SummarySet) string {
+	keys := make([]string, 0, len(set.Funcs))
+	for k := range set.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make([]*FuncSummary, 0, len(keys))
+	for _, k := range keys {
+		ordered = append(ordered, set.Funcs[k])
+	}
+	data, err := json.MarshalIndent(ordered, "", "  ")
+	if err != nil {
+		return ""
+	}
+	return string(data)
+}

@@ -1,0 +1,50 @@
+// Package ctxflow is the golden fixture for the ctxflow pass: a direct
+// ctx-less block inside a ctx-bearing function, a dropped-ctx chain
+// (context.Background handed to a ctx-accepting callee), and a blocking
+// operation reached through a ctx-less callee path. The guarded shapes —
+// select with a ctx.Done case or a default — stay silent.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// ok blocks only under a select guarded by ctx.Done: no finding.
+func ok(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Millisecond):
+	}
+}
+
+// sleepy receives a ctx but sleeps without observing it.
+func sleepy(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want "ctxflow.sleepy receives a ctx but blocks here without observing it"
+}
+
+// drop severs the cancellation chain with a fresh background context.
+func drop(ctx context.Context) {
+	ok(context.Background()) // want "ctxflow.drop receives a ctx but ok\\(context.Background\\(\\), …\\) drops the caller's ctx"
+}
+
+// wait is ctx-less and blocks on a bare receive; on its own that is fine —
+// the finding belongs to the ctx-bearing caller that reaches it.
+func wait(ch chan int) {
+	<-ch // want "ctxflow.caller receives a ctx but reaches this blocking channel receive through ctx-less path ctxflow.wait"
+}
+
+// caller receives a ctx but funnels control into wait's ctx-less receive.
+func caller(ctx context.Context, ch chan int) {
+	wait(ch)
+}
+
+// polling uses a default case, which never blocks: no finding.
+func polling(ctx context.Context, ch chan int) {
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+var _ = []any{ok, sleepy, drop, caller, polling}

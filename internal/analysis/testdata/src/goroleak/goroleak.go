@@ -1,0 +1,63 @@
+// Package goroleak is the golden fixture for the goroleak pass: two
+// signal-less spawned goroutines (a named function and a `go func` literal,
+// both looping unboundedly with no ctx observation, done channel, or
+// WaitGroup.Done on any path), plus the guarded shapes that must stay
+// silent — a ctx-observing worker, a WaitGroup-scoped helper, and a
+// straight-line goroutine that terminates by returning.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+var sink int
+
+// spin loops forever and reaches no termination signal anywhere.
+func spin() {
+	for {
+		sink++
+	}
+}
+
+// step is plain compute: no signal, no loop.
+func step() {
+	sink++
+}
+
+func spawnNamed() {
+	go spin() // want "goroutine goroleak.spin loops unboundedly \\(goroleak.go:[0-9]+\\) but reaches no termination signal"
+}
+
+func spawnLit() {
+	go func() { // want "goroutine goroleak.spawnLit·go1 loops unboundedly \\(goroleak.go:[0-9]+\\) but reaches no termination signal"
+		for {
+			step()
+		}
+	}()
+}
+
+// spawnCtx observes ctx.Done each iteration: no finding.
+func spawnCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			step()
+		}
+	}()
+}
+
+// spawnWG is loop-free and marks completion on a WaitGroup: no finding.
+func spawnWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		step()
+	}()
+}
+
+var _ = []any{spawnNamed, spawnLit, spawnCtx, spawnWG}

@@ -1,0 +1,68 @@
+// Package lockorder is the golden fixture for the lockorder pass: two
+// deliberate acquisition-order cycles, one purely intra-procedural (two
+// methods nesting the same pair of struct mutexes in opposite orders) and
+// one interprocedural (the second lock acquired inside a callee while the
+// first is held).
+package lockorder
+
+import "sync"
+
+// Pair carries two mutexes locked in opposite orders by ab and ba.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *Pair) ab() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want "potential deadlock: lock-order cycle lockorder.Pair.a -> lockorder.Pair.b -> lockorder.Pair.a"
+	p.b.Unlock()
+}
+
+func (p *Pair) ba() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	p.a.Unlock()
+}
+
+// Package-level pair: the mu1 -> mu2 edge comes from a call made while
+// holding mu1, composed with the callee's transitive acquisitions.
+var (
+	mu1 sync.Mutex
+	mu2 sync.Mutex
+)
+
+func lock2() {
+	mu2.Lock()
+	mu2.Unlock()
+}
+
+func first() {
+	mu1.Lock()
+	lock2() // want "potential deadlock: lock-order cycle lockorder.mu1 -> lockorder.mu2 -> lockorder.mu1"
+	mu1.Unlock()
+}
+
+func second() {
+	mu2.Lock()
+	mu1.Lock()
+	mu1.Unlock()
+	mu2.Unlock()
+}
+
+// nested is consistent ordering only (a before b everywhere): no finding.
+type nested struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (n *nested) both() {
+	n.a.Lock()
+	defer n.a.Unlock()
+	n.b.Lock()
+	defer n.b.Unlock()
+}
+
+var _ = []any{(*Pair).ab, (*Pair).ba, first, second, (*nested).both}

@@ -45,6 +45,16 @@ func evalLocked(e *engine) int {
 	return e.hook() // want "call through function value e.hook while holding a caller-held lock"
 }
 
+// badRelock defers the unlock and then locks again in the same body: the
+// deferred Unlock only runs at return, so the second Lock self-deadlocks.
+func badRelock(e *engine) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := e.n
+	e.mu.Lock() // want "Lock of e.mu while it is still held in this function"
+	return n
+}
+
 // --- locks copied by value -------------------------------------------------
 
 func copyParam(e engine) int { // want "parameter of copyParam passes a lock by value"

@@ -4,7 +4,10 @@
 // ignores are themselves diagnostics under the "hhlint" pseudo-pass.
 package suppress
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Stats mirrors the engine's annotated counter block.
 //
@@ -59,3 +62,55 @@ func good(s *Stats) int64 {
 	atomic.AddInt64(&s.N, 1)
 	return atomic.LoadInt64(&s.N)
 }
+
+// --- two passes firing on one line ------------------------------------------
+//
+// `e.N = e.hook()` under a held lock triggers both atomicstats (plain write
+// to an annotated counter) and lockscope (callback under lock), which pins
+// how multi-pass lines interact with each suppression spelling.
+
+// lockedStats carries an annotated counter, a mutex, and an agent hook.
+//
+// hhlint:atomic-counters
+type lockedStats struct {
+	mu   sync.Mutex
+	hook func() int64
+	N    int64
+}
+
+// twoPassSpace: everything after the first space-separated token is reason
+// text, NOT a second pass name — so only atomicstats is silenced and
+// lockscope still fires.
+func twoPassSpace(e *lockedStats) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//hhlint:ignore atomicstats the word lockscope below is reason text, not a pass list
+	e.N = e.hook() // want "call through function value e.hook while holding e.mu"
+}
+
+// twoPassComma: the comma-separated list silences both passes with one
+// comment.
+func twoPassComma(e *lockedStats) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//hhlint:ignore atomicstats,lockscope one comma-separated ignore covers both passes on the next line
+	e.N = e.hook()
+}
+
+// twoPassTwoComments: a standalone ignore (scoping to the next line) and a
+// trailing ignore (scoping to its own line) stack on one target line.
+func twoPassTwoComments(e *lockedStats) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//hhlint:ignore lockscope stacked with the trailing ignore on the next line
+	e.N = e.hook() //hhlint:ignore atomicstats the two comments together silence both passes
+}
+
+// --- ignore on a closing-brace line -----------------------------------------
+
+// braceLine: an ignore on the closing brace scopes to the brace line and
+// the line after it — never backward into the block, so the write above
+// still fires.
+func braceLine(s *Stats) {
+	s.N++ // want "plain write to atomic counter Stats.N"
+} //hhlint:ignore atomicstats brace-line scope is the brace line and the next line only

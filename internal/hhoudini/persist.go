@@ -159,6 +159,7 @@ func (p *ProofDB) Close() error {
 	p.mu.Unlock()
 	if cancel != nil {
 		cancel()
+		//hhlint:ignore ctxflow flusher observes the ctx cancelled on the line above and exits; this join is bounded
 		<-done
 	}
 	err := p.Flush()

@@ -434,6 +434,7 @@ func (s *Server) Drain(ctx context.Context) error {
 				if idle {
 					break
 				}
+				//hhlint:ignore ctxflow ctx is already cancelled in this branch; solver cancellation is reliable, so the poll is bounded
 				time.Sleep(5 * time.Millisecond)
 			}
 		case <-time.After(5 * time.Millisecond):
