@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build lint lint-cache test race race-proofdb chaos bench-smoke bench bench-json bench-persist bench-sat bench-conecache bench-serve ci
+.PHONY: all vet build lint lint-cache test race race-proofdb chaos crash bench-smoke bench bench-json bench-persist bench-sat bench-conecache bench-serve ci
 
 all: build
 
@@ -64,6 +64,16 @@ race-proofdb:
 chaos:
 	$(GO) test -race -run 'TestChaos|TestCancel|TestInterrupt' ./...
 
+# Crash-point torture tier: re-execs the proofdb test binary and kill -9s
+# it mid-append, mid-fsync, mid-rotation, and mid-snapshot-rename at every
+# injected crash point, then asserts prefix-consistent recovery with loss
+# bounded by the journal sync policy (zero under SyncEveryRecord). The
+# truncate-at-every-byte-offset sweep covers the byte-granular torn-tail
+# space, and the kill-9 service test proves the warm restart end to end.
+crash:
+	$(GO) test -run 'TestCrash' ./internal/proofdb/
+	$(GO) test -run 'TestKill9' ./internal/serve/
+
 # One iteration of every benchmark: catches bit-rot in the harness without
 # paying for stable timings.
 bench-smoke:
@@ -110,4 +120,4 @@ bench-serve:
 	$(GO) run ./cmd/benchjson -serve -out BENCH_serve.json
 	$(GO) run ./cmd/benchjson -check BENCH_serve.json
 
-ci: vet build lint lint-cache race race-proofdb chaos bench-smoke bench-json bench-persist bench-sat bench-conecache bench-serve
+ci: vet build lint lint-cache race race-proofdb chaos crash bench-smoke bench-json bench-persist bench-sat bench-conecache bench-serve

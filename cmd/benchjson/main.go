@@ -37,10 +37,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	hh "hhoudini"
+	"hhoudini/internal/proofdb"
 )
 
 const (
@@ -77,6 +79,20 @@ type persistReport struct {
 	DiskFlushes      int64   `json:"disk_flushes"`
 	WallReductionPct float64 `json:"wall_reduction_pct"`
 	DiskHitRatePct   float64 `json:"disk_hit_rate_pct"`
+
+	// Write-ahead-journal cost model, measured on a dedicated store: the
+	// per-record Append latency distribution under the default sync policy,
+	// the amortized per-record cost including the closing fsync, the
+	// recovery replay of the resulting segments, and one full snapshot
+	// flush of the same records as the comparison baseline. The self-check
+	// enforces amortized-append ≪ snapshot-flush — the whole reason the
+	// journal exists.
+	JournalRecords       int64   `json:"journal_records"`
+	JournalAppendP50Us   float64 `json:"journal_append_p50_us"`
+	JournalAppendP95Us   float64 `json:"journal_append_p95_us"`
+	JournalAppendAmortUs float64 `json:"journal_append_amortized_us"`
+	JournalReplayWallMs  float64 `json:"journal_replay_wall_ms"`
+	SnapshotFlushWallMs  float64 `json:"snapshot_flush_wall_ms"`
 }
 
 // report is the emitted document.
@@ -352,7 +368,70 @@ func runPersist() *persistReport {
 	if rep.WarmQueries > 0 {
 		rep.DiskHitRatePct = 100 * float64(rep.WarmDiskHits) / float64(rep.WarmQueries)
 	}
+	measureJournal(rep)
 	return rep
+}
+
+// measureJournal benchmarks the write-ahead journal's cost model on a
+// dedicated store: per-record Append latency under the default sync policy
+// (buffered write + in-memory merge; durability amortized into one fsync at
+// Persist), the recovery replay of the resulting segments, and a full
+// snapshot flush of the same records as the baseline the journal is
+// supposed to undercut.
+func measureJournal(rep *persistReport) {
+	dir, err := os.MkdirTemp("", "hh-benchjournal-*")
+	if err != nil {
+		die(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := proofdb.Open(dir, proofdb.Options{Journal: proofdb.JournalOptions{Enable: true}})
+	if err != nil {
+		die(err)
+	}
+	const n = 512
+	lat := make([]time.Duration, 0, n)
+	appendStart := time.Now()
+	for i := uint64(1); i <= n; i++ {
+		delta := &proofdb.Snapshot{Keys: []proofdb.KeyRecord{{
+			Key:      "bench",
+			Verdicts: []proofdb.Verdict{{A: i, B: i, OK: true, Preds: []string{"p"}}},
+		}}}
+		start := time.Now()
+		db.Append(delta)
+		lat = append(lat, time.Since(start))
+	}
+	if err := db.Persist(); err != nil { // the one amortized fsync
+		die(err)
+	}
+	appendTotal := time.Since(appendStart)
+	// Abandon, not Close: recovery below must replay the segments, not load
+	// a flushed snapshot.
+	db.Abandon()
+
+	replayStart := time.Now()
+	db2, err := proofdb.Open(dir, proofdb.Options{})
+	if err != nil {
+		die(err)
+	}
+	rep.JournalReplayWallMs = float64(time.Since(replayStart).Microseconds()) / 1000
+	if got := db2.Stats().JournalReplayed; got != n {
+		die(fmt.Errorf("journal bench: recovery replayed %d/%d records", got, n))
+	}
+	flushStart := time.Now()
+	if err := db2.Flush(); err != nil {
+		die(err)
+	}
+	rep.SnapshotFlushWallMs = float64(time.Since(flushStart).Microseconds()) / 1000
+	if err := db2.Close(); err != nil {
+		die(err)
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	rep.JournalRecords = n
+	rep.JournalAppendP50Us = float64(lat[n*50/100].Nanoseconds()) / 1000
+	rep.JournalAppendP95Us = float64(lat[n*95/100].Nanoseconds()) / 1000
+	rep.JournalAppendAmortUs = float64(appendTotal.Nanoseconds()) / 1000 / n
 }
 
 func sumF(xs []float64) (s float64) {
@@ -467,6 +546,22 @@ func checkPersist(path string, raw []byte, fail func(string, ...any)) {
 	if rep.DiskHitRatePct < 50 {
 		fail("disk_hit_rate_pct = %.1f, want >= 50", rep.DiskHitRatePct)
 	}
-	fmt.Printf("benchjson: %s OK (%s, wall -%.1f%%, disk hit rate %.1f%%)\n",
-		path, rep.Design, rep.WallReductionPct, rep.DiskHitRatePct)
+	if rep.JournalRecords <= 0 {
+		fail("journal_records = %d, want > 0", rep.JournalRecords)
+	}
+	if rep.JournalAppendAmortUs <= 0 || rep.JournalReplayWallMs <= 0 || rep.SnapshotFlushWallMs <= 0 {
+		fail("journal rows incomplete: amortized %.3fus, replay %.3fms, flush %.3fms",
+			rep.JournalAppendAmortUs, rep.JournalReplayWallMs, rep.SnapshotFlushWallMs)
+	}
+	// The journal's reason to exist: making one record durable must cost far
+	// less than rewriting the snapshot. A 10x margin keeps the bound meaningful
+	// under CI noise while still failing if Append ever starts paying
+	// snapshot-shaped costs.
+	if rep.JournalAppendAmortUs*10 > rep.SnapshotFlushWallMs*1000 {
+		fail("amortized journal append %.1fus is not ≪ the %.1fms snapshot flush",
+			rep.JournalAppendAmortUs, rep.SnapshotFlushWallMs)
+	}
+	fmt.Printf("benchjson: %s OK (%s, wall -%.1f%%, disk hit rate %.1f%%, journal append p50 %.1fus amortized %.1fus vs flush %.1fms)\n",
+		path, rep.Design, rep.WallReductionPct, rep.DiskHitRatePct,
+		rep.JournalAppendP50Us, rep.JournalAppendAmortUs, rep.SnapshotFlushWallMs)
 }

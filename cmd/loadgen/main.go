@@ -27,12 +27,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -329,6 +331,18 @@ func runOverload(cl *client, design string, tenants, safe []string) {
 		failf("fairness: tenant %s job ended %q during flood", tenants[0], view.State)
 	}
 
+	// Eventual completion: the very submission that was 429'd must succeed
+	// once retried with Retry-After-honoring backoff — overload is a
+	// slowdown, never a drop.
+	if got429 {
+		retried, err := cl.runJob(floodSpec)
+		if err != nil {
+			failf("overload: rejected burst job never completed: %v", err)
+		} else if retried.State != serve.StateDone {
+			failf("overload: retried burst job ended %q", retried.State)
+		}
+	}
+
 	// The flood's accepted jobs must themselves all resolve.
 	for _, id := range ids {
 		view, err := cl.await(id)
@@ -340,7 +354,8 @@ func runOverload(cl *client, design string, tenants, safe []string) {
 			failf("overload job %s ended %q", id, view.State)
 		}
 	}
-	fmt.Printf("overload: %d accepted, 429 observed with Retry-After, fairness held\n", len(ids))
+	fmt.Printf("overload: %d accepted, 429=%v (Retry-After=%v), burst completed after backoff, fairness held\n",
+		len(ids), got429, gotRetryAfter)
 }
 
 // checkGoroutines asserts the process returned to its pre-daemon goroutine
@@ -438,12 +453,37 @@ func (c *client) submit(spec serve.JobSpec) (*jobView, int, string, error) {
 	return &v, resp.StatusCode, retryAfter, nil
 }
 
-// runJob submits (retrying politely on 429) and waits for a terminal state.
+// backoffFor computes the pause before retrying a 429'd submission: the
+// server's Retry-After hint when present, otherwise an exponential ramp
+// from 25ms, both capped at 2s and jittered ±25% so concurrent clients
+// that were rejected together don't retry together.
+func backoffFor(attempt int, retryAfter string) time.Duration {
+	const (
+		floor      = 25 * time.Millisecond
+		maxBackoff = 2 * time.Second
+	)
+	d := floor
+	for i := 0; i < attempt && d < maxBackoff; i++ {
+		d *= 2
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	jitter := time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+	return d + jitter
+}
+
+// runJob submits — retrying 429s with capped jittered backoff that honors
+// the server's Retry-After — and waits for a terminal state.
 func (c *client) runJob(spec serve.JobSpec) (*jobView, error) {
 	start := time.Now()
+	const retryBudget = 5 * time.Minute
 	var v *jobView
 	for attempt := 0; ; attempt++ {
-		got, status, _, err := c.submit(spec)
+		got, status, retryAfter, err := c.submit(spec)
 		if err != nil {
 			return nil, err
 		}
@@ -451,10 +491,10 @@ func (c *client) runJob(spec serve.JobSpec) (*jobView, error) {
 			return nil, fmt.Errorf("submit: HTTP 503 (draining)")
 		}
 		if status == 429 {
-			if attempt > 400 {
-				return nil, fmt.Errorf("submit: still 429 after %d retries", attempt)
+			if time.Since(start) > retryBudget {
+				return nil, fmt.Errorf("submit: still 429 after %d retries over %v", attempt, retryBudget)
 			}
-			time.Sleep(25 * time.Millisecond)
+			time.Sleep(backoffFor(attempt, retryAfter))
 			continue
 		}
 		v = got

@@ -79,6 +79,21 @@ type VerifyCache struct {
 	diskVerdictsLoaded int64
 	diskVerdictHits    int64
 	diskFlushes        int64
+
+	// sinks receive the durable delta of every live mutation (new verdict,
+	// new abduct, clauses harvested at check-in) — the write-ahead feed a
+	// bound ProofDB journals as the facts land, so the crash-loss window is
+	// the sync policy's, not the flush interval's. Registered under vc.mu;
+	// invoked strictly outside it (a sink appends to a store whose own lock
+	// ordering must stay independent of the cache's).
+	sinks   []deltaSink
+	sinkSeq int64
+}
+
+// deltaSink is one registered delta consumer.
+type deltaSink struct {
+	id int64
+	fn func(*proofdb.Snapshot)
 }
 
 // Default sizing. The evaluated designs encode a few hundred to a few
@@ -464,22 +479,40 @@ func (vc *VerifyCache) checkin(key string, cone uint64, pe *pooledEncoder, stats
 	exported := pe.enc.ExportNamedLearnts(exportMaxLen)
 
 	vc.mu.Lock()
-	defer vc.mu.Unlock()
 	e := vc.entryLocked(key)
 
-	stored := 0
+	var admitted []proofdb.Clause
 	for _, cl := range exported {
 		if e.addClauseLocked(cl, vc.maxStore) {
-			stored++
 			vc.creditLocked(e, 1, clauseBytes(cl))
+			lits := make([]proofdb.Lit, len(cl))
+			for i, nl := range cl {
+				lits[i] = proofdb.Lit{Name: nl.Name, Neg: nl.Neg}
+			}
+			admitted = append(admitted, proofdb.Clause{Lits: lits})
 		}
 	}
-	atomic.AddInt64(&vc.clausesStored, int64(stored))
+	atomic.AddInt64(&vc.clausesStored, int64(len(admitted)))
 	if stats != nil {
-		atomic.AddInt64(&stats.CacheClausesExported, int64(stored))
+		atomic.AddInt64(&stats.CacheClausesExported, int64(len(admitted)))
 	}
 
 	atomic.AddInt64(&vc.checkins, 1)
+	vc.checkinPoolLocked(e, cone, pe, stats)
+	var sinks []func(*proofdb.Snapshot)
+	if len(admitted) > 0 {
+		sinks = vc.sinksLocked()
+	}
+	vc.mu.Unlock()
+
+	if len(admitted) > 0 {
+		emitDelta(sinks, proofdb.KeyRecord{Key: key, Clauses: admitted})
+	}
+}
+
+// checkinPoolLocked pools the retired encoder under e, or drops it when the
+// slot is occupied or pooling is disabled. Caller holds vc.mu.
+func (vc *VerifyCache) checkinPoolLocked(e *cacheEntry, cone uint64, pe *pooledEncoder, stats *Stats) {
 	if vc.clauseBudget <= 0 {
 		return
 	}
@@ -698,10 +731,10 @@ func (vc *VerifyCache) storeVerdict(key string, vk verdictKey, res abductResult)
 		}
 	}
 	vc.mu.Lock()
-	defer vc.mu.Unlock()
 	e := vc.entryLocked(key)
 	old, exists := e.verdicts[vk]
 	if !exists && len(e.verdicts) >= vc.maxVerdicts {
+		vc.mu.Unlock()
 		return // memo full; favor the working set already present
 	}
 	if exists {
@@ -709,6 +742,13 @@ func (vc *VerifyCache) storeVerdict(key string, vk verdictKey, res abductResult)
 	}
 	e.verdicts[vk] = val
 	vc.creditLocked(e, 1, verdictBytes(val))
+	sinks := vc.sinksLocked()
+	vc.mu.Unlock()
+
+	emitDelta(sinks, proofdb.KeyRecord{Key: key, Verdicts: []proofdb.Verdict{{
+		A: vk.a, B: vk.b, OK: val.ok,
+		Preds: append([]string(nil), val.preds...),
+	}}})
 }
 
 // --- Subset-abduct memo -----------------------------------------------------
@@ -792,11 +832,23 @@ func (vc *VerifyCache) storeAbduct(key string, target Pred, res abductResult) {
 		ids[i] = p.ID()
 	}
 	vc.mu.Lock()
-	defer vc.mu.Unlock()
 	e := vc.entryLocked(key)
-	if e.addAbductLocked(target.ID(), ids, false) {
+	added := e.addAbductLocked(target.ID(), ids, false)
+	if added {
 		recs := e.abducts[target.ID()]
 		vc.creditLocked(e, 1, abductBytes(recs[len(recs)-1]))
+	}
+	var sinks []func(*proofdb.Snapshot)
+	if added {
+		sinks = vc.sinksLocked()
+	}
+	vc.mu.Unlock()
+
+	if added {
+		emitDelta(sinks, proofdb.KeyRecord{Key: key, Abducts: []proofdb.Abduct{{
+			Target: target.ID(),
+			Preds:  append([]string(nil), ids...),
+		}}})
 	}
 }
 
@@ -954,3 +1006,49 @@ func (vc *VerifyCache) Restore(s *proofdb.Snapshot) (clauses, verdicts int) {
 
 // noteDiskFlush counts one merge of this cache into a persistent store.
 func (vc *VerifyCache) noteDiskFlush() { atomic.AddInt64(&vc.diskFlushes, 1) }
+
+// addDeltaSink registers fn to receive every future durable delta and
+// returns its removal function. Restores from disk are not replayed into
+// sinks (the store already holds them); only live derivations flow.
+func (vc *VerifyCache) addDeltaSink(fn func(*proofdb.Snapshot)) (remove func()) {
+	vc.mu.Lock()
+	vc.sinkSeq++
+	id := vc.sinkSeq
+	vc.sinks = append(vc.sinks, deltaSink{id: id, fn: fn})
+	vc.mu.Unlock()
+	return func() {
+		vc.mu.Lock()
+		for i, s := range vc.sinks {
+			if s.id == id {
+				vc.sinks = append(vc.sinks[:i], vc.sinks[i+1:]...)
+				break
+			}
+		}
+		vc.mu.Unlock()
+	}
+}
+
+// sinksLocked snapshots the registered sink functions (nil when none).
+// Caller holds vc.mu; the returned copy is safe to invoke after unlocking.
+func (vc *VerifyCache) sinksLocked() []func(*proofdb.Snapshot) {
+	if len(vc.sinks) == 0 {
+		return nil
+	}
+	fns := make([]func(*proofdb.Snapshot), len(vc.sinks))
+	for i, s := range vc.sinks {
+		fns[i] = s.fn
+	}
+	return fns
+}
+
+// emitDelta delivers one key's delta to the given sinks. Must be called
+// with vc.mu released: sinks do I/O and take their own locks.
+func emitDelta(sinks []func(*proofdb.Snapshot), kr proofdb.KeyRecord) {
+	if len(sinks) == 0 {
+		return
+	}
+	s := &proofdb.Snapshot{Keys: []proofdb.KeyRecord{kr}}
+	for _, fn := range sinks {
+		fn(s)
+	}
+}

@@ -167,11 +167,18 @@ func TestChaosProofDBWriteFailure(t *testing.T) {
 	if l.pdb == nil {
 		t.Fatal("CacheDir learner has no bound proof store")
 	}
+	// The write-ahead journal keeps the run durable while snapshot rewrites
+	// fail: Learn's shutdown Persist fsyncs the journal and succeeds, so no
+	// flush error is recorded yet. The rewrite failure surfaces at Close,
+	// whose final full flush is the first snapshot write of the run.
+	if got := l.pdb.LastFlushErr(); got != nil {
+		t.Fatalf("journal-backed shutdown persist failed: %v", got)
+	}
+	if err := CloseProofDBs(); !errors.Is(err, injected) {
+		t.Fatalf("Close must surface the failed final flush; got %v", err)
+	}
 	if got := l.pdb.LastFlushErr(); !errors.Is(got, injected) {
 		t.Fatalf("LastFlushErr = %v, want the injected error", got)
-	}
-	if err := CloseProofDBs(); err == nil {
-		t.Fatal("Close must surface the failed final flush")
 	}
 
 	after, err := os.ReadFile(path)

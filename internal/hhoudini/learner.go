@@ -733,9 +733,10 @@ func (l *Learner) untrackSolver(s *sat.Solver) {
 }
 
 // finishPersist runs at Learn shutdown: it snapshots the cache's durable
-// footprint into Stats and, when a proof store is bound, flushes the cache
-// to disk (the "flush-on-Learn-shutdown" half of the persistence story; the
-// optional background flusher covers long-lived learners in between).
+// footprint into Stats and, when a proof store is bound, persists the run's
+// deltas. With a journal the deltas were appended as they landed, so this is
+// a cheap fsync; the store escalates to a full snapshot rewrite on its own
+// when the journal is disabled, degraded, or oversized.
 func (l *Learner) finishPersist() {
 	if l.cache == nil {
 		return
@@ -745,7 +746,7 @@ func (l *Learner) finishPersist() {
 	if l.pdb == nil {
 		return
 	}
-	if err := l.pdb.Flush(); err == nil {
+	if err := l.pdb.Persist(); err == nil {
 		atomic.AddInt64(&l.stats.CacheDiskFlushes, 1)
 	}
 	st := l.pdb.Stats()

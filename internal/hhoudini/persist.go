@@ -42,6 +42,10 @@ type ProofDB struct {
 	// loop cannot propagate, so it records here and LastFlushErr exposes
 	// it). A later successful flush clears it.
 	flushErr error
+	// unhooks removes the delta sinks this binding registered on attached
+	// caches. Caches can outlive the binding (the shared in-process cache is
+	// process-global), so a closed ProofDB must stop receiving their deltas.
+	unhooks []func()
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -70,8 +74,11 @@ func OpenProofDB(dir string, vc *VerifyCache, cfg ProofDBConfig) (*ProofDB, erro
 	return p, nil
 }
 
-// Attach restores the store's contents into vc and registers it as a flush
-// source. Idempotent per cache.
+// Attach restores the store's contents into vc, registers it as a flush
+// source, and subscribes to its durable deltas: every new verdict, abduct,
+// or harvested clause is appended to the store's write-ahead journal as it
+// lands, so the crash-loss window is the journal sync policy's, not the
+// flush interval's. Idempotent per cache.
 func (p *ProofDB) Attach(vc *VerifyCache) {
 	if vc == nil {
 		return
@@ -83,10 +90,19 @@ func (p *ProofDB) Attach(vc *VerifyCache) {
 	}
 	p.seen[vc] = true
 	p.attached = append(p.attached, vc)
+	p.unhooks = append(p.unhooks, vc.addDeltaSink(p.appendDelta))
 	p.mu.Unlock()
 	// Restore outside p.mu: Snapshot and Restore take their own locks.
+	// Restores never re-emit into sinks, so this cannot echo the store's
+	// own contents back into the journal.
 	vc.Restore(p.db.Snapshot())
 }
+
+// appendDelta is the registered delta sink: it merges the delta into the
+// store's memory image and journals it. proofdb.Append never errors — on
+// persistent journal I/O failure the store degrades to snapshot-only mode
+// and the delta still lands in memory for the next Flush.
+func (p *ProofDB) appendDelta(s *proofdb.Snapshot) { p.db.Append(s) }
 
 // Flush merges the durable state of every attached cache into the store and
 // atomically rewrites the file (crash-safe: temp file + fsync + rename).
@@ -102,6 +118,29 @@ func (p *ProofDB) Flush() error {
 		vc.noteDiskFlush()
 	}
 	err := p.db.Flush()
+	p.mu.Lock()
+	p.flushErr = err
+	p.mu.Unlock()
+	return err
+}
+
+// Persist is the cheap durability point: it fsyncs the store's journal tail
+// instead of rewriting the snapshot. Because attached caches stream their
+// deltas into the journal as they land (see Attach), everything derived so
+// far is already in the store's memory image and journal — Persist only has
+// to make the bytes durable. When the journal is disabled, degraded, or
+// oversized, the store escalates to a full Flush on its own. The outcome is
+// recorded for LastFlushErr like any flush.
+func (p *ProofDB) Persist() error {
+	p.mu.Lock()
+	caches := append([]*VerifyCache(nil), p.attached...)
+	p.mu.Unlock()
+	err := p.db.Persist()
+	if err == nil {
+		for _, vc := range caches {
+			vc.noteDiskFlush()
+		}
+	}
 	p.mu.Lock()
 	p.flushErr = err
 	p.mu.Unlock()
@@ -156,7 +195,12 @@ func (p *ProofDB) Close() error {
 	}
 	p.closed = true
 	cancel, done := p.cancel, p.done
+	unhooks := p.unhooks
+	p.unhooks = nil
 	p.mu.Unlock()
+	for _, unhook := range unhooks {
+		unhook()
+	}
 	if cancel != nil {
 		cancel()
 		//hhlint:ignore ctxflow flusher observes the ctx cancelled on the line above and exits; this join is bounded
@@ -167,6 +211,32 @@ func (p *ProofDB) Close() error {
 		err = cerr
 	}
 	return err
+}
+
+// abandon drops the binding without flushing anything: sinks are unhooked,
+// the flusher is stopped, and the store is abandoned (journal tail handle
+// closed without a final sync). Crash-simulation only — recovery then sees
+// exactly what a kill -9 would have left.
+func (p *ProofDB) abandon() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	cancel, done := p.cancel, p.done
+	unhooks := p.unhooks
+	p.unhooks = nil
+	p.mu.Unlock()
+	for _, unhook := range unhooks {
+		unhook()
+	}
+	if cancel != nil {
+		cancel()
+		//hhlint:ignore ctxflow flusher observes the ctx cancelled on the line above and exits; this join is bounded
+		<-done
+	}
+	p.db.Abandon()
 }
 
 // --- Options.CacheDir registry ----------------------------------------------
@@ -181,6 +251,24 @@ var proofDBReg = struct {
 	open map[string]*ProofDB
 }{open: make(map[string]*ProofDB)}
 
+// defaultJournal is the journal configuration CacheDir-bound stores open
+// with. The journal is on by default (SyncOnFlush: bounded loss, no fsync
+// per record); SetDefaultJournal lets an embedding daemon pick the policy
+// before the first learner binds a store.
+var defaultJournal = struct {
+	sync.Mutex
+	opts proofdb.JournalOptions
+}{opts: proofdb.JournalOptions{Enable: true}}
+
+// SetDefaultJournal sets the journal options used by stores bound through
+// Options.CacheDir. It affects stores opened after the call; already-open
+// bindings keep their policy.
+func SetDefaultJournal(opts proofdb.JournalOptions) {
+	defaultJournal.Lock()
+	defaultJournal.opts = opts
+	defaultJournal.Unlock()
+}
+
 // boundProofDB returns the process-wide ProofDB for dir (opening it on
 // first use) with vc attached. Failures degrade to nil — the learner then
 // runs with a purely in-memory cache, which is the documented cold-start
@@ -193,8 +281,11 @@ func boundProofDB(dir string, vc *VerifyCache) *ProofDB {
 	proofDBReg.Lock()
 	p := proofDBReg.open[key]
 	if p == nil {
+		defaultJournal.Lock()
+		cfg := ProofDBConfig{Store: proofdb.Options{Journal: defaultJournal.opts}}
+		defaultJournal.Unlock()
 		var err error
-		p, err = OpenProofDB(dir, nil, ProofDBConfig{})
+		p, err = OpenProofDB(dir, nil, cfg)
 		if err != nil {
 			proofDBReg.Unlock()
 			return nil
@@ -204,6 +295,23 @@ func boundProofDB(dir string, vc *VerifyCache) *ProofDB {
 	proofDBReg.Unlock()
 	p.Attach(vc)
 	return p
+}
+
+// ProofDBStatsFor reports the live store counters for the CacheDir-bound
+// ProofDB at dir, if one is open in this process. Serving daemons use it to
+// surface journal health without holding their own store reference.
+func ProofDBStatsFor(dir string) (proofdb.Stats, bool) {
+	key := dir
+	if abs, err := filepath.Abs(dir); err == nil {
+		key = abs
+	}
+	proofDBReg.Lock()
+	p := proofDBReg.open[key]
+	proofDBReg.Unlock()
+	if p == nil {
+		return proofdb.Stats{}, false
+	}
+	return p.Stats(), true
 }
 
 // CloseProofDBs flushes and closes every proof store opened through
@@ -222,4 +330,19 @@ func CloseProofDBs() error {
 		}
 	}
 	return first
+}
+
+// CrashProofDBs simulates a process kill for every CacheDir-bound store:
+// the registry is emptied and each binding is abandoned WITHOUT a final
+// flush or journal sync — on-disk state is left exactly as a kill -9 would
+// have left it. Test harnesses use this to measure the journal's real loss
+// window end-to-end (a clean Close would flush and hide it).
+func CrashProofDBs() {
+	proofDBReg.Lock()
+	open := proofDBReg.open
+	proofDBReg.open = make(map[string]*ProofDB)
+	proofDBReg.Unlock()
+	for _, p := range open {
+		p.abandon()
+	}
 }

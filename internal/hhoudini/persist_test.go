@@ -1,12 +1,14 @@
 package hhoudini
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 	"time"
 
+	"hhoudini/internal/faultinject"
 	"hhoudini/internal/proofdb"
 )
 
@@ -344,5 +346,92 @@ func TestBoundProofDBRegistry(t *testing.T) {
 	}
 	if err := CloseProofDBs(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestJournalCrashWarmRestart proves the write-ahead journal end to end at
+// the library level: a CacheDir-bound learner streams its deltas into the
+// journal as they land and Learn's shutdown Persist fsyncs them — no
+// snapshot flush ever runs. A simulated kill -9 (CrashProofDBs: abandon
+// without flushing) must therefore lose nothing: a fresh cache bound to the
+// same directory warm-starts from the journal alone.
+func TestJournalCrashWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	o1 := warmOptions(NewVerifyCache())
+	o1.CacheDir = dir
+	_, inv1 := learnOnce(t, o1)
+	CrashProofDBs()
+
+	if _, err := os.Stat(filepath.Join(dir, "proof.db")); !os.IsNotExist(err) {
+		t.Fatalf("no snapshot flush ran, yet proof.db exists (stat err=%v)", err)
+	}
+
+	o2 := warmOptions(NewVerifyCache())
+	o2.CacheDir = dir
+	l2, inv2 := learnOnce(t, o2)
+	defer func() {
+		if err := CloseProofDBs(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if !reflect.DeepEqual(ids(inv1), ids(inv2)) {
+		t.Fatalf("journal-recovered process learned a different invariant: %v vs %v",
+			ids(inv2), ids(inv1))
+	}
+	if l2.pdb == nil {
+		t.Fatal("CacheDir learner has no bound proof store")
+	}
+	st := l2.pdb.Stats()
+	if st.JournalReplayed == 0 {
+		t.Fatal("recovery replayed no journal records")
+	}
+	s := l2.Stats()
+	if s.Queries == 0 {
+		t.Fatal("recovered process made no queries; test is vacuous")
+	}
+	if s.CacheDiskHits < (s.Queries*9+9)/10 {
+		t.Fatalf("disk hits %d / queries %d: below the 90%% warm-start bar after crash",
+			s.CacheDiskHits, s.Queries)
+	}
+}
+
+// TestJournalDegradedLearnerStillSucceeds: persistent journal I/O failure
+// must never fail the learner — the store degrades to snapshot-only mode
+// and the final Close still makes everything durable.
+func TestJournalDegradedLearnerStillSucceeds(t *testing.T) {
+	dir := t.TempDir()
+	injected := fmt.Errorf("chaos: journal disk gone")
+	faultinject.Arm(faultinject.JournalAppend, faultinject.Spec{Count: -1, Err: injected})
+	defer faultinject.Reset()
+
+	o1 := warmOptions(NewVerifyCache())
+	o1.CacheDir = dir
+	_, inv1 := learnOnce(t, o1)
+	if l := len(ids(inv1)); l == 0 {
+		t.Fatal("degraded-journal learner found no invariant")
+	}
+	st, ok := ProofDBStatsFor(dir)
+	if !ok {
+		t.Fatal("no registry entry for the CacheDir store")
+	}
+	if !st.JournalDegraded {
+		t.Fatal("persistent append failure did not degrade the journal")
+	}
+	if err := CloseProofDBs(); err != nil {
+		t.Fatalf("snapshot-only close failed: %v", err)
+	}
+
+	faultinject.Reset()
+	o2 := warmOptions(NewVerifyCache())
+	o2.CacheDir = dir
+	l2, _ := learnOnce(t, o2)
+	defer func() {
+		if err := CloseProofDBs(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if l2.Stats().CacheDiskLoads == 0 {
+		t.Fatal("snapshot written by the degraded store restored nothing")
 	}
 }

@@ -34,10 +34,20 @@ const (
 	// record schema or its semantics; loaders reject mismatched versions
 	// wholesale (cold start) rather than guessing.
 	Version = 1
+
+	// journalMagic heads every write-ahead journal segment. The journal
+	// shares the snapshot's record schema and version — a segment is the
+	// same records, framed with a sequence number — so the version suffix
+	// tracks Version.
+	journalMagic = "HHWAL"
 )
 
 // header is the exact first line of a store file (without the newline).
 func header() string { return fmt.Sprintf("%s v%d", magic, Version) }
+
+// journalHeader is the exact first line of a journal segment (without the
+// newline).
+func journalHeader() string { return fmt.Sprintf("%s v%d", journalMagic, Version) }
 
 // Record type tags.
 //
@@ -129,6 +139,64 @@ func encodeLine(r *record) ([]byte, error) {
 	line = append(line, payload...)
 	line = append(line, '\n')
 	return line, nil
+}
+
+// encodeJournalLine renders one record as a sequence-numbered journal line
+// (with trailing newline):
+//
+//	"<crc32-hex8>\t<seq-hex16>\t<json-record>\n"
+//
+// The CRC covers the sequence number and the payload together, so a line
+// whose body was transplanted from another position (or another segment)
+// fails its checksum instead of replaying out of order.
+func encodeJournalLine(seq uint64, r *record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, 0, len(payload)+17)
+	body = fmt.Appendf(body, "%016x\t", seq)
+	body = append(body, payload...)
+	line := make([]byte, 0, len(body)+10)
+	line = fmt.Appendf(line, "%08x\t", crc32.ChecksumIEEE(body))
+	line = append(line, body...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// decodeJournalLine parses one journal line (without trailing newline). Any
+// malformed line — bad framing, CRC mismatch, JSON error, semantic
+// invalidity — returns ok=false; replay treats every such line as the torn
+// tail of its segment.
+func decodeJournalLine(line []byte) (uint64, record, bool) {
+	var r record
+	tab := bytes.IndexByte(line, '\t')
+	if tab != 8 {
+		return 0, r, false
+	}
+	want, err := strconv.ParseUint(string(line[:tab]), 16, 32)
+	if err != nil {
+		return 0, r, false
+	}
+	body := line[tab+1:]
+	if crc32.ChecksumIEEE(body) != uint32(want) {
+		return 0, r, false
+	}
+	tab2 := bytes.IndexByte(body, '\t')
+	if tab2 != 16 {
+		return 0, r, false
+	}
+	seq, err := strconv.ParseUint(string(body[:tab2]), 16, 64)
+	if err != nil {
+		return 0, r, false
+	}
+	if err := json.Unmarshal(body[tab2+1:], &r); err != nil {
+		return 0, r, false
+	}
+	if !r.valid() {
+		return 0, r, false
+	}
+	return seq, r, true
 }
 
 // decodeLine parses one store line (without trailing newline). It returns

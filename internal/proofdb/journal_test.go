@@ -1,0 +1,439 @@
+package proofdb
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"hhoudini/internal/faultinject"
+)
+
+// verdictDelta builds a one-record snapshot: verdict #i under key "k".
+func verdictDelta(i uint64) *Snapshot {
+	return &Snapshot{Keys: []KeyRecord{{
+		Key:      "k",
+		Verdicts: []Verdict{{A: i, B: i, OK: true, Preds: []string{"p"}}},
+	}}}
+}
+
+// verdictSet reopens dir (snapshot-only reader) and returns the set of
+// verdict A-values stored under key "k".
+func verdictSet(t *testing.T, dir string) map[uint64]bool {
+	t.Helper()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery Open must never fail: %v", err)
+	}
+	got := map[uint64]bool{}
+	for _, kr := range db.Snapshot().Keys {
+		if kr.Key != "k" {
+			continue
+		}
+		for _, v := range kr.Verdicts {
+			got[v.A] = true
+		}
+	}
+	return got
+}
+
+// assertPrefix checks that got is exactly {1..k} for some k, and returns k.
+func assertPrefix(t *testing.T, got map[uint64]bool) uint64 {
+	t.Helper()
+	k := uint64(len(got))
+	for i := uint64(1); i <= k; i++ {
+		if !got[i] {
+			t.Fatalf("recovered state is not a prefix: %d records but #%d missing", len(got), i)
+		}
+	}
+	return k
+}
+
+func TestJournalAppendSurvivesAbandon(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Journal: JournalOptions{Enable: true, Sync: SyncEveryRecord}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 25
+	for i := uint64(1); i <= n; i++ {
+		db.Append(verdictDelta(i))
+	}
+	st := db.Stats()
+	if st.JournalAppends != n {
+		t.Fatalf("JournalAppends = %d, want %d", st.JournalAppends, n)
+	}
+	if st.JournalSyncs != n {
+		t.Fatalf("JournalSyncs = %d under SyncEveryRecord, want %d", st.JournalSyncs, n)
+	}
+	if st.Flushes != 0 {
+		t.Fatalf("appends triggered %d snapshot flushes; journal writes must not rewrite the store", st.Flushes)
+	}
+	// Simulated kill -9: no Flush, no Close, no sync.
+	db.Abandon()
+
+	got := verdictSet(t, dir)
+	if k := assertPrefix(t, got); k != n {
+		t.Fatalf("recovered %d/%d records under every-record sync; loss must be zero", k, n)
+	}
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := db2.Stats(); st.JournalReplayed != n {
+		t.Fatalf("JournalReplayed = %d, want %d", st.JournalReplayed, n)
+	}
+}
+
+func TestJournalTornTailTruncatedRecordLocally(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Journal: JournalOptions{Enable: true, Sync: SyncEveryRecord}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := uint64(1); i <= n; i++ {
+		db.Append(verdictDelta(i))
+	}
+	db.Abandon()
+
+	segs := listSegments(dir)
+	if len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %d", len(segs))
+	}
+	fi, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record mid-line.
+	if err := os.Truncate(segs[0], fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery Open must never fail: %v", err)
+	}
+	st := db2.Stats()
+	if st.JournalTornTails == 0 {
+		t.Fatal("torn tail not counted")
+	}
+	if st.JournalReplayed != n-1 {
+		t.Fatalf("JournalReplayed = %d, want %d", st.JournalReplayed, n-1)
+	}
+	got := verdictSet(t, dir)
+	if k := assertPrefix(t, got); k != n-1 {
+		t.Fatalf("recovered %d records after tearing the last; want exactly %d", k, n-1)
+	}
+	// Recovery physically truncated the tail back to the last good record,
+	// so the next Open sees a clean segment: no new torn tail.
+	db3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := db3.Stats(); st.JournalTornTails != 0 {
+		t.Fatalf("tail not physically truncated: second recovery counted %d torn tails", st.JournalTornTails)
+	}
+}
+
+func TestJournalReorderedLinesReplayPrefix(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Journal: JournalOptions{Enable: true, Sync: SyncEveryRecord}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	for i := uint64(1); i <= n; i++ {
+		db.Append(verdictDelta(i))
+	}
+	db.Abandon()
+
+	seg := listSegments(dir)[0]
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	// lines[0] is the header; swap records 4 and 5 (indices 4 and 5).
+	lines[4], lines[5] = lines[5], lines[4]
+	if err := os.WriteFile(seg, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay must stop at the first out-of-sequence record: prefix {1..3}.
+	got := verdictSet(t, dir)
+	if k := assertPrefix(t, got); k != 3 {
+		t.Fatalf("recovered %d records after swapping #4/#5; want the prefix 1..3", k)
+	}
+}
+
+func TestJournalRotationAndCrossSegmentReplay(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Journal: JournalOptions{
+		Enable: true, Sync: SyncEveryRecord, SegmentBytes: 256,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := uint64(1); i <= n; i++ {
+		db.Append(verdictDelta(i))
+	}
+	st := db.Stats()
+	if st.JournalRotations == 0 {
+		t.Fatal("no rotations despite a 256-byte segment threshold")
+	}
+	if st.JournalSegments < 2 {
+		t.Fatalf("JournalSegments = %d, want >= 2", st.JournalSegments)
+	}
+	db.Abandon()
+
+	if segs := listSegments(dir); len(segs) < 2 {
+		t.Fatalf("want >= 2 segment files on disk, got %d", len(segs))
+	}
+	got := verdictSet(t, dir)
+	if k := assertPrefix(t, got); k != n {
+		t.Fatalf("cross-segment replay recovered %d/%d records", k, n)
+	}
+}
+
+func TestJournalCompactionRidesFlushAndCloseIsClean(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Journal: JournalOptions{Enable: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		db.Append(verdictDelta(i))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.JournalCompactions == 0 {
+		t.Fatal("flush did not compact the journal")
+	}
+	// Post-flush: the snapshot holds everything; exactly one fresh tail.
+	if segs := listSegments(dir); len(segs) != 1 {
+		t.Fatalf("want 1 fresh tail segment after flush, got %d", len(segs))
+	}
+	for i := uint64(6); i <= 8; i++ {
+		db.Append(verdictDelta(i))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Clean close: snapshot-only layout (plus nothing else).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != FileName {
+			t.Fatalf("unexpected file after clean Close: %s", e.Name())
+		}
+	}
+	got := verdictSet(t, dir)
+	if k := assertPrefix(t, got); k != 8 {
+		t.Fatalf("recovered %d/8 records after flush+append+close", k)
+	}
+}
+
+func TestJournalPersistIsCheapDurabilityPoint(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Journal: JournalOptions{Enable: true}}) // SyncOnFlush
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 12; i++ {
+		db.Append(verdictDelta(i))
+	}
+	if err := db.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Flushes != 0 {
+		t.Fatalf("Persist rewrote the snapshot (%d flushes); want journal sync only", st.Flushes)
+	}
+	if st.JournalSyncs == 0 {
+		t.Fatal("Persist did not sync the journal")
+	}
+	db.Abandon()
+	got := verdictSet(t, dir)
+	if k := assertPrefix(t, got); k != 12 {
+		t.Fatalf("recovered %d/12 records committed by Persist", k)
+	}
+}
+
+func TestJournalPersistEscalatesWhenOversized(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Journal: JournalOptions{
+		Enable: true, SegmentBytes: 128, CompactSegments: 2,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 30; i++ {
+		db.Append(verdictDelta(i))
+	}
+	if err := db.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Flushes == 0 {
+		t.Fatal("Persist did not escalate to a compacting flush past the segment bound")
+	}
+	if st.JournalCompactions == 0 {
+		t.Fatal("escalated Persist did not compact")
+	}
+}
+
+// TestChaosJournalDegradesToSnapshotOnly joins the chaos tier: persistent
+// injected append failures must flip the store to snapshot-only mode
+// without ever surfacing an error to the caller, and the records must
+// still reach disk via the next Flush.
+func TestChaosJournalDegradesToSnapshotOnly(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Journal: JournalOptions{Enable: true, Sync: SyncEveryRecord}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.JournalAppend, faultinject.Spec{Count: -1})
+	for i := uint64(1); i <= 10; i++ {
+		db.Append(verdictDelta(i)) // must not panic, must not error
+	}
+	st := db.Stats()
+	if !st.JournalDegraded {
+		t.Fatalf("journal not degraded after persistent append failures: %+v", st)
+	}
+	if db.JournalActive() {
+		t.Fatal("JournalActive still true after degradation")
+	}
+	faultinject.Reset()
+	// Snapshot-only mode still persists everything through Flush.
+	if err := db.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Flushes == 0 {
+		t.Fatal("degraded Persist did not fall back to a snapshot flush")
+	}
+	got := verdictSet(t, dir)
+	if k := assertPrefix(t, got); k != 10 {
+		t.Fatalf("recovered %d/10 records in degraded mode", k)
+	}
+}
+
+// TestChaosJournalSyncFailureFallsBack: a failed Persist-time fsync must
+// escalate to the snapshot path, so the durability point still holds.
+func TestChaosJournalSyncFailureFallsBack(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Journal: JournalOptions{Enable: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 4; i++ {
+		db.Append(verdictDelta(i))
+	}
+	faultinject.Arm(faultinject.JournalSync, faultinject.Spec{})
+	if err := db.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Flushes == 0 {
+		t.Fatal("Persist with a failed journal sync did not fall back to Flush")
+	}
+	db.Abandon()
+	got := verdictSet(t, dir)
+	if k := assertPrefix(t, got); k != 4 {
+		t.Fatalf("recovered %d/4 records after sync-failure fallback", k)
+	}
+}
+
+// TestJournalReplayIntoJournalingStore: a journaling store that recovers
+// segments continues appending after the replayed tail without colliding
+// sequence numbers.
+func TestJournalReplayIntoJournalingStore(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Journal: JournalOptions{Enable: true, Sync: SyncEveryRecord}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 6; i++ {
+		db.Append(verdictDelta(i))
+	}
+	db.Abandon()
+
+	db2, err := Open(dir, Options{Journal: JournalOptions{Enable: true, Sync: SyncEveryRecord}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(7); i <= 12; i++ {
+		db2.Append(verdictDelta(i))
+	}
+	db2.Abandon()
+
+	got := verdictSet(t, dir)
+	if k := assertPrefix(t, got); k != 12 {
+		t.Fatalf("recovered %d/12 records across two journaling generations", k)
+	}
+}
+
+func TestJournalDisabledReaderStillRecovers(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Journal: JournalOptions{Enable: true, Sync: SyncEveryRecord}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		db.Append(verdictDelta(i))
+	}
+	db.Abandon()
+
+	// A journaling-disabled reader replays the segments, and its Flush
+	// folds them into the snapshot and compacts them away.
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Snapshot().Len(); got != 5 {
+		t.Fatalf("disabled reader replayed %d records, want 5", got)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if segs := listSegments(dir); len(segs) != 0 {
+		t.Fatalf("disabled reader's Close left %d segments", len(segs))
+	}
+	got := verdictSet(t, dir)
+	if k := assertPrefix(t, got); k != 5 {
+		t.Fatalf("post-compaction state lost records: %d/5", k)
+	}
+}
+
+func TestJournalHeaderMismatchDropsSegment(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Journal: JournalOptions{Enable: true, Sync: SyncEveryRecord}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		db.Append(verdictDelta(i))
+	}
+	db.Abandon()
+
+	seg := listSegments(dir)[0]
+	raw, _ := os.ReadFile(seg)
+	mangled := append([]byte("HHWAL v999\n"), raw[len(journalHeader())+1:]...)
+	if err := os.WriteFile(seg, mangled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got := verdictSet(t, dir)
+	if len(got) != 0 {
+		t.Fatalf("version-mismatched segment replayed %d records; want 0 (cold)", len(got))
+	}
+	// The unusable segment is removed so it cannot shadow future appends.
+	if segs := listSegments(dir); len(segs) != 0 {
+		t.Fatalf("mismatched segment not removed: %d left", len(segs))
+	}
+}

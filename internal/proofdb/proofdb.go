@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"hhoudini/internal/crashsim"
 	"hhoudini/internal/faultinject"
 )
 
@@ -63,6 +64,11 @@ type Options struct {
 	MaxBytes int64
 	// Now overrides the clock (tests). Nil means time.Now.
 	Now func() time.Time
+	// Journal configures the write-ahead journal (journal.go). Disabled by
+	// default: the bare store keeps its single-file snapshot layout, and
+	// recovery still replays any segments an earlier journaling writer
+	// left behind.
+	Journal JournalOptions
 }
 
 func (o *Options) maxAge() time.Duration {
@@ -98,6 +104,16 @@ type Stats struct {
 	AgeEvicted     int64 // records evicted at flush for exceeding MaxAge
 	BudgetEvicted  int64 // records LRU-evicted at flush for the byte budget
 	BytesOnDisk    int64 // size of the store after the last flush (or load)
+
+	// Write-ahead journal counters (journal.go).
+	JournalAppends     int64 // records appended to the journal
+	JournalSyncs       int64 // journal fsyncs (durability points)
+	JournalRotations   int64 // size-triggered segment rotations
+	JournalCompactions int64 // segment truncations riding a snapshot rewrite
+	JournalReplayed    int64 // records replayed from segments at Open
+	JournalTornTails   int64 // torn tails truncated record-locally at Open
+	JournalSegments    int64 // live segment files after the last operation
+	JournalDegraded    bool  // journal abandoned after persistent I/O errors
 }
 
 // Snapshot is the portable in-memory image of a store (also the exchange
@@ -159,6 +175,12 @@ type DB struct {
 	opts  Options
 	keys  map[string]*keyState
 	stats Stats
+
+	// Write-ahead journal state (journal.go). journalNextSeq is the first
+	// unused sequence number discovered by Open-time replay; jn is nil when
+	// journaling is disabled.
+	jn             *journal
+	journalNextSeq uint64
 }
 
 type keyState struct {
@@ -215,6 +237,13 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	if err := db.load(); err != nil {
 		return nil, err
+	}
+	// Recovery: replay whatever journal segments the previous process left,
+	// whether or not this store journals its own writes — the segments are
+	// committed deltas the snapshot does not yet hold. Never an error.
+	db.replayJournal()
+	if opts.Journal.Enable {
+		db.openJournal()
 	}
 	return db, nil
 }
@@ -354,9 +383,59 @@ func (db *DB) Merge(s *Snapshot) {
 	if s == nil {
 		return
 	}
+	// Read the clock before taking db.mu (user-supplied callback; see Flush).
 	now := db.opts.now().Unix()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.mergeLocked(s, now)
+}
+
+// Append is the write-ahead delta path: it folds s into the model exactly
+// like Merge and additionally journals every record it carries, so the
+// delta survives a crash without waiting for the next snapshot rewrite.
+// It never returns an error — journal I/O failures feed the degradation
+// ladder (Stats.JournalDegraded) and the caller's data stays safe in the
+// model for the next Flush.
+func (db *DB) Append(s *Snapshot) {
+	if s == nil || s.Len() == 0 {
+		return
+	}
+	now := db.opts.now()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.mergeLocked(s, now.Unix())
+	if db.jn == nil || db.jn.degraded {
+		return
+	}
+	var recs []*record
+	for i := range s.Keys {
+		kr := &s.Keys[i]
+		for _, cl := range kr.Clauses {
+			if len(cl.Lits) == 0 {
+				continue
+			}
+			recs = append(recs, &record{T: recClause, Key: kr.Key, At: now.Unix(), Lits: cl.Lits})
+		}
+		for _, v := range kr.Verdicts {
+			recs = append(recs, &record{
+				T: recVerdict, Key: kr.Key, At: now.Unix(),
+				A: v.A, B: v.B, OK: v.OK, Preds: v.Preds,
+			})
+		}
+		for _, a := range kr.Abducts {
+			if a.Target == "" {
+				continue
+			}
+			recs = append(recs, &record{
+				T: recConeAbduct, Key: kr.Key, At: now.Unix(),
+				Preds: append([]string{a.Target}, a.Preds...),
+			})
+		}
+	}
+	db.appendLocked(recs, now)
+}
+
+func (db *DB) mergeLocked(s *Snapshot, now int64) {
 	for _, kr := range s.Keys {
 		ks := db.keyLocked(kr.Key)
 		for _, cl := range kr.Clauses {
@@ -498,12 +577,71 @@ func (db *DB) Flush() error {
 	}
 	db.stats.Flushes++
 	db.stats.BytesOnDisk = int64(len(buf))
+	// The snapshot now holds everything the journal held: compaction rides
+	// the rewrite (journal.go), removing applied segments and starting a
+	// fresh tail when journaling is active.
+	db.compactLocked()
 	return nil
 }
 
-// Close flushes the store. The DB holds no OS resources between calls, so
-// Close is just the final durability point.
-func (db *DB) Close() error { return db.Flush() }
+// Persist is the cheap durability point: when the journal is active and
+// healthy, one fsync of the tail segment commits everything appended so
+// far — cost proportional to new work, not store size. It escalates to a
+// full (compacting) snapshot Flush when the journal is disabled, degraded,
+// just failed to sync, or has accumulated enough segments to be worth
+// folding in.
+func (db *DB) Persist() error {
+	now := db.opts.now()
+	db.mu.Lock()
+	jn := db.jn
+	if jn == nil || jn.degraded {
+		db.mu.Unlock()
+		return db.Flush()
+	}
+	err := db.syncLocked(now)
+	oversized := jn.segments > jn.opts.compactSegments()
+	db.mu.Unlock()
+	if err != nil || oversized {
+		return db.Flush()
+	}
+	return nil
+}
+
+// JournalActive reports whether the write-ahead journal is enabled and has
+// not degraded to snapshot-only mode.
+func (db *DB) JournalActive() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.jn != nil && !db.jn.degraded
+}
+
+// Abandon drops the store without flushing or syncing anything — the
+// simulated `kill -9` for in-process crash tests. On-disk state is left
+// exactly as the last completed write left it; the DB must not be used
+// afterwards.
+func (db *DB) Abandon() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.jn != nil && db.jn.f != nil {
+		//hhlint:ignore flusherr simulated process death: deliberately no sync, and a Close error on the abandoned handle is part of the simulation
+		db.jn.f.Close()
+		db.jn.f = nil
+		db.jn.degraded = true
+	}
+}
+
+// Close flushes the store (which compacts the journal) and closes the
+// journal tail. It is the final durability point; a clean Close leaves the
+// single-file snapshot layout behind.
+func (db *DB) Close() error {
+	err := db.Flush()
+	db.mu.Lock()
+	if cerr := db.closeJournalLocked(); err == nil {
+		err = cerr
+	}
+	db.mu.Unlock()
+	return err
+}
 
 // evictExpiredLocked drops records older than MaxAge from the model. The
 // caller supplies the current time: reading the (user-overridable) clock
@@ -641,9 +779,15 @@ func atomicWrite(path string, data []byte) error {
 		os.Remove(tmp)
 		return err
 	}
+	if crashsim.Enabled() {
+		crashsim.Maybe(crashRenameBefore)
+	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return err
+	}
+	if crashsim.Enabled() {
+		crashsim.Maybe(crashRenameAfter)
 	}
 	if dir, err := os.Open(filepath.Dir(path)); err == nil {
 		//hhlint:ignore flusherr directory fsync is best-effort: some filesystems reject it and the rename above is already atomic

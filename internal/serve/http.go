@@ -95,6 +95,29 @@ type ServerStats struct {
 	// Cache is the shared verification cache's counter snapshot (hits,
 	// evictions, durable footprint, bytes high-water).
 	Cache core.CacheCounters `json:"cache"`
+
+	// ProofDB surfaces the bound persistent store's snapshot and
+	// write-ahead-journal health; nil when the server runs without a
+	// CacheDir (or the store failed to open and the cache degraded to
+	// memory-only).
+	ProofDB *ProofDBStats `json:"proofdb,omitempty"`
+}
+
+// ProofDBStats is the /v1/stats projection of proofdb.Stats: durability
+// gauges for dashboards (is the journal keeping up? has it degraded?) and
+// the crash-restart assertions in the tests.
+type ProofDBStats struct {
+	Flushes     int64 `json:"flushes"`
+	BytesOnDisk int64 `json:"bytes_on_disk"`
+
+	JournalAppends     int64 `json:"journal_appends"`
+	JournalSyncs       int64 `json:"journal_syncs"`
+	JournalRotations   int64 `json:"journal_rotations"`
+	JournalCompactions int64 `json:"journal_compactions"`
+	JournalReplayed    int64 `json:"journal_replayed"`
+	JournalTornTails   int64 `json:"journal_torn_tails"`
+	JournalSegments    int64 `json:"journal_segments"`
+	JournalDegraded    bool  `json:"journal_degraded"`
 }
 
 // StatsPayload assembles the gauge snapshot (also used by tests directly).
@@ -122,6 +145,22 @@ func (s *Server) StatsPayload() ServerStats {
 	s.mu.Unlock()
 	st.Goroutines = runtime.NumGoroutine()
 	st.Cache = s.cache.Counters()
+	if s.cfg.CacheDir != "" {
+		if db, ok := core.ProofDBStatsFor(s.cfg.CacheDir); ok {
+			st.ProofDB = &ProofDBStats{
+				Flushes:            db.Flushes,
+				BytesOnDisk:        db.BytesOnDisk,
+				JournalAppends:     db.JournalAppends,
+				JournalSyncs:       db.JournalSyncs,
+				JournalRotations:   db.JournalRotations,
+				JournalCompactions: db.JournalCompactions,
+				JournalReplayed:    db.JournalReplayed,
+				JournalTornTails:   db.JournalTornTails,
+				JournalSegments:    db.JournalSegments,
+				JournalDegraded:    db.JournalDegraded,
+			}
+		}
+	}
 	return st
 }
 
@@ -141,6 +180,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !ready {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
+	}
+	// A degraded journal is noted but never fails readiness: the store has
+	// already fallen back to snapshot-only persistence and learning is
+	// unaffected — the daemon must not get restart-looped over a durability
+	// downgrade.
+	if s.cfg.CacheDir != "" {
+		if db, ok := core.ProofDBStatsFor(s.cfg.CacheDir); ok && db.JournalDegraded {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ready (journal degraded: snapshot-only persistence)")
+			return
+		}
 	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ready")

@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -433,5 +436,99 @@ func TestCancelPerJobDeadline(t *testing.T) {
 	v2, _ := postJob(t, ts, JobSpec{Kind: KindVerify, Design: "execstage", Safe: []string{"add"}})
 	if ok := awaitJob(t, ts, v2.ID); ok.State != StateDone {
 		t.Fatalf("post-deadline job = %s (%s)", ok.State, ok.Error)
+	}
+}
+
+// TestKill9RestartWarmFromJournal is the write-ahead journal's end-to-end
+// proof at the service level: run a learn job with a persistent CacheDir,
+// then kill the "process" with NO drain — core.CrashProofDBs abandons the
+// stores without a flush or final sync, leaving on disk exactly what a
+// kill -9 would. Every job ends in a journal durability point (the
+// learner's shutdown Persist), so a restarted server over the same
+// directory must answer >=90% of the repeat job's queries warm, from the
+// journal alone: no proof.db snapshot ever existed.
+func TestKill9RestartWarmFromJournal(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := New(Config{Workers: 1, CacheDir: dir})
+	ts1 := httptest.NewServer(s1.Handler())
+	v, resp := postJob(t, ts1, JobSpec{Kind: KindLearn, Design: "execstage", Safe: []string{"add"}, Tenant: "t1"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit = %d, want 201", resp.StatusCode)
+	}
+	if final := awaitJob(t, ts1, v.ID); final.State != StateDone {
+		t.Fatalf("learn job = %s (%s)", final.State, final.Error)
+	}
+	st1 := s1.StatsPayload()
+	if st1.ProofDB == nil {
+		t.Fatal("/v1/stats surfaces no proofdb section for a CacheDir server")
+	}
+	if st1.ProofDB.JournalAppends == 0 || st1.ProofDB.JournalSyncs == 0 {
+		t.Fatalf("journal idle during the job: appends=%d syncs=%d",
+			st1.ProofDB.JournalAppends, st1.ProofDB.JournalSyncs)
+	}
+	ts1.Close()
+	core.CrashProofDBs() // kill -9: no drain, no flush, no close
+	if err := s1.Close(); err != nil {
+		// The registry is already empty; Close just stops the worker pool.
+		t.Fatalf("post-crash teardown: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "proof.db")); !os.IsNotExist(err) {
+		t.Fatalf("no flush ever ran, yet a snapshot exists (stat err=%v)", err)
+	}
+
+	// Restart: fresh server, fresh cache, same directory.
+	s2 := New(Config{Workers: 1, CacheDir: dir})
+	defer s2.Close() //nolint:errcheck
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	v2, _ := postJob(t, ts2, JobSpec{Kind: KindVerify, Design: "execstage", Safe: []string{"add"}, Tenant: "t1"})
+	warm := awaitJob(t, ts2, v2.ID)
+	if warm.State != StateDone {
+		t.Fatalf("restart job = %s (%s)", warm.State, warm.Error)
+	}
+	if warm.Stats.WarmFraction < 0.9 {
+		t.Fatalf("restart warm fraction = %.3f, want >=0.9 from the journal alone", warm.Stats.WarmFraction)
+	}
+	st2 := s2.StatsPayload()
+	if st2.ProofDB == nil || st2.ProofDB.JournalReplayed == 0 {
+		t.Fatalf("restart replayed no journal records: %+v", st2.ProofDB)
+	}
+}
+
+// TestReadyzNotesDegradedJournal: persistent journal I/O failure degrades
+// the store to snapshot-only persistence; /readyz must stay 200 (the
+// daemon is fully functional) while noting the downgrade, and /v1/stats
+// must flag it.
+func TestReadyzNotesDegradedJournal(t *testing.T) {
+	dir := t.TempDir()
+	faultinject.Arm(faultinject.JournalAppend, faultinject.Spec{Count: -1, Err: errors.New("chaos: journal disk gone")})
+	defer faultinject.Reset()
+
+	s := New(Config{Workers: 1, CacheDir: dir})
+	defer s.Close() //nolint:errcheck
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v, _ := postJob(t, ts, JobSpec{Kind: KindLearn, Design: "execstage", Safe: []string{"add"}})
+	if final := awaitJob(t, ts, v.ID); final.State != StateDone {
+		t.Fatalf("job must succeed despite journal failure: %s (%s)", final.State, final.Error)
+	}
+
+	st := s.StatsPayload()
+	if st.ProofDB == nil || !st.ProofDB.JournalDegraded {
+		t.Fatalf("stats do not flag the degraded journal: %+v", st.ProofDB)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d on a degraded journal, want 200 (snapshot-only is not an outage)", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "degraded") {
+		t.Fatalf("readyz body does not note the degradation: %q", body)
 	}
 }
